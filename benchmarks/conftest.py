@@ -1,0 +1,44 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures at a reduced
+scale (see ``repro.experiments.config.ExperimentScale``); set the
+``REPRO_SCALE`` environment variable to ``1.0`` to run the paper-size
+experiments instead.  Each benchmark writes the series it produced to
+``benchmarks/results/<name>.txt`` so the numbers survive pytest's output
+capture and can be compared against the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def experiment_scale() -> ExperimentScale:
+    """The scale shared by every benchmark (controlled by REPRO_SCALE)."""
+    return ExperimentScale.from_environment()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_result(results_dir):
+    """Write a benchmark's human-readable result table to the results directory."""
+
+    def _record(name: str, content: str) -> Path:
+        destination = results_dir / f"{name}.txt"
+        destination.write_text(content + "\n")
+        print(f"\n[{name}]\n{content}")
+        return destination
+
+    return _record

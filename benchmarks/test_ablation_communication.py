@@ -1,0 +1,40 @@
+"""Ablation A1 — communication overhead: RayTrace filtering versus naive reporting.
+
+The paper motivates the two-tier design by the infeasibility of relaying every
+location update to the coordinator (Sections 1 and 3.2) but does not plot the
+saving; this ablation quantifies it across tolerance values.  Expected shape:
+the reduction grows with epsilon, and even the tightest tolerance suppresses
+the large majority of updates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import run_communication_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_communication_overhead(benchmark, experiment_scale, record_result):
+    rows = benchmark.pedantic(
+        lambda: run_communication_ablation(tolerances=(2.0, 10.0, 20.0), scale=experiment_scale),
+        rounds=1,
+        iterations=1,
+    )
+    header = f"{'epsilon':>8} {'RayTrace msgs':>14} {'naive msgs':>12} {'reduction':>10}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.tolerance:>8.1f} {row.raytrace_messages:>14d} {row.naive_messages:>12d} "
+            f"{row.reduction * 100:>9.1f}%"
+        )
+    record_result("ablation_communication", "\n".join(lines))
+
+    for row in rows:
+        assert row.raytrace_messages < row.naive_messages
+        assert row.reduction > 0.25
+    # At the default tolerance and above, the filter suppresses the large
+    # majority of updates, and looser tolerance suppresses at least as many
+    # messages as the tightest one.
+    assert rows[1].reduction > 0.5
+    assert rows[-1].raytrace_messages <= rows[0].raytrace_messages

@@ -1,0 +1,71 @@
+"""Ablation A4 — coordinator-to-client feedback (the paper's future-work sketch).
+
+Section 7 of the paper suggests that feeding information about nearby hot
+motion paths back to the clients could improve RayTrace's splitting decisions.
+This ablation replays the same corridor workload through the base protocol and
+through the feedback extension (hot-vertex hints + FSA snapping) and compares
+index size, hottest-path hotness and message volume.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.geometry import Point, Rectangle
+from repro.client.raytrace import RayTraceConfig
+from repro.coordinator.coordinator import Coordinator, CoordinatorConfig
+from repro.extensions.feedback import FeedbackCoordinator
+from repro.simulation.replay import TrajectoryReplayDriver
+from repro.workload.scenarios import waypoint_corridor_trajectories
+
+BOUNDS = Rectangle(Point(-2000.0, -2000.0), Point(4000.0, 4000.0))
+CORRIDOR = [
+    Point(0.0, 0.0),
+    Point(900.0, 0.0),
+    Point(900.0, 700.0),
+    Point(1800.0, 700.0),
+    Point(1800.0, 1500.0),
+]
+
+
+def _run(use_feedback: bool):
+    trajectories = waypoint_corridor_trajectories(
+        CORRIDOR, num_objects=20, duration=120, lateral_spread=3.0, start_stagger=4, seed=5
+    )
+    coordinator_config = CoordinatorConfig(bounds=BOUNDS, window=2000, cells_per_axis=48)
+    coordinator = (
+        # The hint radius must reach the next corridor corner (the legs are
+        # 700-900 m long) for the hints to be useful to a client that reports
+        # again only at that corner.
+        FeedbackCoordinator(coordinator_config, hint_radius=1200.0)
+        if use_feedback
+        else Coordinator(coordinator_config)
+    )
+    driver = TrajectoryReplayDriver(
+        coordinator, RayTraceConfig(15.0), epoch_length=10, use_feedback=use_feedback
+    )
+    stats = driver.replay(trajectories)
+    return coordinator, stats
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_feedback_extension(benchmark, record_result):
+    (base, base_stats), (feedback, feedback_stats) = benchmark.pedantic(
+        lambda: (_run(False), _run(True)), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'variant':>10} {'index size':>12} {'max hotness':>12} {'uplink msgs':>12} {'downlink bytes':>15} {'snaps':>6}",
+        "-" * 72,
+        f"{'base':>10} {base.index_size():>12d} {base.top_k(1)[0].hotness:>12d} "
+        f"{base_stats.uplink.messages:>12d} {base_stats.downlink.bytes:>15d} {'-':>6}",
+        f"{'feedback':>10} {feedback.index_size():>12d} {feedback.top_k(1)[0].hotness:>12d} "
+        f"{feedback_stats.uplink.messages:>12d} {feedback_stats.downlink.bytes:>15d} "
+        f"{feedback_stats.snapped_reports:>6d}",
+    ]
+    record_result("ablation_feedback", "\n".join(lines))
+
+    # Feedback must keep the protocol functional, concentrate (not fragment)
+    # the index, and pay for it only with a larger downlink.
+    assert feedback.top_k(1)[0].hotness >= 1
+    assert feedback.index_size() <= base.index_size() * 1.25 + 5
+    assert feedback_stats.downlink.bytes >= base_stats.downlink.bytes

@@ -1,0 +1,37 @@
+"""Ablation A3 — sensitivity to the grid-index resolution.
+
+Section 5.1 leaves the number of grid cells as a free parameter.  This
+ablation sweeps the resolution and records coordinator processing time, index
+size and top-k score; the discovered paths themselves should be essentially
+unaffected (the grid only accelerates range queries), which is what the
+assertions check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import run_grid_resolution_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_grid_resolution(benchmark, experiment_scale, record_result):
+    rows = benchmark.pedantic(
+        lambda: run_grid_resolution_ablation(cell_counts=(16, 64, 128), scale=experiment_scale),
+        rounds=1,
+        iterations=1,
+    )
+    header = f"{'cells/axis':>10} {'time/epoch s':>14} {'index size':>12} {'top-k score':>12}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.cells_per_axis:>10d} {row.mean_processing_seconds:>14.4f} "
+            f"{row.mean_index_size:>12.1f} {row.mean_top_k_score:>12.1f}"
+        )
+    record_result("ablation_grid_resolution", "\n".join(lines))
+
+    sizes = [row.mean_index_size for row in rows]
+    scores = [row.mean_top_k_score for row in rows]
+    # The grid resolution is a performance knob: results stay (nearly) identical.
+    assert max(sizes) - min(sizes) <= 0.05 * max(sizes) + 1.0
+    assert max(scores) - min(scores) <= 0.10 * max(scores) + 1.0

@@ -1,0 +1,35 @@
+"""Ablation A2 — effect of the (epsilon, delta) uncertainty model.
+
+Positive delta shrinks the per-measurement tolerance squares (Section 4.1), so
+the filter reports more often and the discovered paths change.  Expected
+shape: uplink message volume is non-decreasing in delta while the index size
+stays in the same ballpark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import run_uncertainty_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_uncertainty_model(benchmark, experiment_scale, record_result):
+    rows = benchmark.pedantic(
+        lambda: run_uncertainty_ablation(deltas=(0.0, 0.05, 0.2), scale=experiment_scale),
+        rounds=1,
+        iterations=1,
+    )
+    header = f"{'delta':>8} {'uplink msgs':>12} {'index size':>12} {'top-k score':>12}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.delta:>8.2f} {row.uplink_messages:>12d} {row.mean_index_size:>12.1f} "
+            f"{row.mean_top_k_score:>12.1f}"
+        )
+    record_result("ablation_uncertainty", "\n".join(lines))
+
+    assert rows[0].delta == 0.0
+    # Tighter probabilistic guarantees can only increase reporting.
+    assert rows[-1].uplink_messages >= rows[0].uplink_messages
+    assert all(row.mean_index_size > 0 for row in rows)

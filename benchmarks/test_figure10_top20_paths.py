@@ -1,0 +1,39 @@
+"""Figure 10 — the top-20 hottest motion paths in the centre of the area.
+
+The paper zooms into the centre of Athens and draws only the 20 hottest paths
+stored in the index.  The benchmark reproduces the zoomed selection and
+records the rendered map plus the ranked list of paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure9 import run_figure10
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_figure10_top20_hottest_paths(benchmark, experiment_scale, record_result):
+    report = benchmark.pedantic(
+        lambda: run_figure10(scale=experiment_scale, k=20, map_width=60, map_height=24),
+        rounds=1,
+        iterations=1,
+    )
+    ranked_lines = []
+    for rank, (record, hotness) in enumerate(report.hot_paths, start=1):
+        ranked_lines.append(
+            f"  {rank:2d}. hotness={hotness:<3d} length={record.path.length:8.1f} "
+            f"({record.path.start.x:8.1f}, {record.path.start.y:8.1f}) -> "
+            f"({record.path.end.x:8.1f}, {record.path.end.y:8.1f})"
+        )
+    content = (
+        "Top-20 hottest motion paths in the centre of the monitored area:\n"
+        + "\n".join(ranked_lines)
+        + "\n\nRendered map (brightness = hotness):\n"
+        + report.discovered_map
+    )
+    record_result("figure10_top20_paths", content)
+
+    assert 0 < len(report.hot_paths) <= 20
+    hotness_values = [hotness for _, hotness in report.hot_paths]
+    assert hotness_values == sorted(hotness_values, reverse=True)

@@ -1,0 +1,42 @@
+"""Figure 7 — varying the number of objects (panels a, b, c).
+
+The sweep runs the full framework (SinglePath plus the DP baseline on the same
+measurement stream) for the paper's object counts, scaled down by
+``REPRO_SCALE``.  Expected shape from the paper:
+
+* 7(a): both methods' index sizes grow with N; DP stores somewhat fewer
+  segments than SinglePath (it is not constrained to valid motion paths);
+* 7(b): DP's top-k score is generally at least as high as SinglePath's, with
+  SinglePath competitive (and occasionally better, as at N = 20,000);
+* 7(c): coordinator processing time grows steeply with N.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import PAPER_OBJECT_COUNTS
+from repro.experiments.figure7 import run_figure7
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_vary_number_of_objects(benchmark, experiment_scale, record_result):
+    report = benchmark.pedantic(
+        lambda: run_figure7(PAPER_OBJECT_COUNTS, scale=experiment_scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("figure7_vary_objects", report.format_table())
+
+    sizes = report.panel_a()["single_path_index_size"]
+    times = report.panel_c()["processing_seconds"]
+    scores = report.panel_b()["single_path_score"]
+
+    # Panel (a): the index grows monotonically with the population.
+    assert sizes == sorted(sizes)
+    assert sizes[-1] > sizes[0]
+    # Panel (b): scores are positive everywhere.
+    assert all(score > 0.0 for score in scores)
+    # Panel (c): more objects cost more coordinator time (compare the extremes,
+    # allowing noise in the intermediate points).
+    assert times[-1] > times[0]

@@ -1,0 +1,34 @@
+"""Figure 8 — varying the tolerance parameter (panels a, b, c).
+
+Expected shape from the paper: as epsilon grows, SinglePath stores fewer paths
+(8a), those paths are hotter and longer so its score improves relative to DP
+(8b), and coordinator processing time drops substantially — the paper reports
+more than a 3x reduction between epsilon = 2 and epsilon = 20 (8c).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import PAPER_TOLERANCES
+from repro.experiments.figure8 import run_figure8
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8_vary_tolerance(benchmark, experiment_scale, record_result):
+    report = benchmark.pedantic(
+        lambda: run_figure8(PAPER_TOLERANCES, scale=experiment_scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("figure8_vary_tolerance", report.format_table())
+
+    sizes = report.panel_a()["single_path_index_size"]
+    scores = report.panel_b()["single_path_score"]
+
+    # Panel (a): a larger tolerance yields a more compact index (compare extremes).
+    assert sizes[-1] < sizes[0]
+    # Panel (b): scores are positive and the loosest tolerance beats the tightest
+    # (longer paths dominate the score metric).
+    assert all(score > 0.0 for score in scores)
+    assert scores[-1] > scores[0]

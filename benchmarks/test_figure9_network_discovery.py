@@ -1,0 +1,37 @@
+"""Figure 9 — the road network as discovered by SinglePath.
+
+The paper's Figure 9 plots every motion path with non-zero hotness inside the
+sliding window; the picture closely resembles the underlying Athens network
+even though the algorithms never see it.  The benchmark renders both maps as
+ASCII density grids, records them side by side and checks a quantitative proxy
+for the resemblance (coverage of the network's raster cells by discovered
+paths).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure9 import run_figure9
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_figure9_discovered_network(benchmark, experiment_scale, record_result):
+    report = benchmark.pedantic(
+        lambda: run_figure9(scale=experiment_scale, map_width=72, map_height=30),
+        rounds=1,
+        iterations=1,
+    )
+    coverage = report.coverage_fraction()
+    content = (
+        "Ground-truth network (hidden from the algorithms):\n"
+        f"{report.network_map}\n\n"
+        "Motion paths discovered by SinglePath (brightness = hotness):\n"
+        f"{report.discovered_map}\n\n"
+        f"Hot paths: {len(report.hot_paths)}   coverage of network raster: {coverage * 100:.1f}%"
+    )
+    record_result("figure9_network_discovery", content)
+
+    assert len(report.hot_paths) > 0
+    # The discovered picture must overlap a meaningful share of the network.
+    assert coverage > 0.25

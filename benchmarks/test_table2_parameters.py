@@ -1,0 +1,47 @@
+"""Table 2 — experimental parameters and the default-configuration run.
+
+The paper's Table 2 lists the workload parameters and their default values.
+This benchmark materialises the default configuration (scaled for Python),
+runs it once end to end and records both the parameter table and the headline
+metrics of the default run, which every other experiment varies around.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import PAPER_DEFAULTS, scaled_simulation_config
+from repro.simulation.engine import HotPathSimulation
+
+
+def _run_default(scale):
+    config = scaled_simulation_config(scale=scale)
+    return config, HotPathSimulation(config).run()
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_default_configuration(benchmark, experiment_scale, record_result):
+    config, result = benchmark.pedantic(
+        lambda: _run_default(experiment_scale), rounds=1, iterations=1
+    )
+    summary = result.summary()
+    lines = ["Table 2 — parameters (paper value -> this run)"]
+    lines.append(f"  N objects:          {int(PAPER_DEFAULTS['num_objects'])} -> {config.num_objects}")
+    lines.append(f"  tolerance epsilon:  {PAPER_DEFAULTS['tolerance']} m")
+    lines.append(f"  positional error:   {PAPER_DEFAULTS['positional_error']} m")
+    lines.append(f"  agility alpha:      {PAPER_DEFAULTS['agility']}")
+    lines.append(f"  displacement s:     {PAPER_DEFAULTS['displacement']} m")
+    lines.append(f"  window W:           {int(PAPER_DEFAULTS['window'])} timestamps")
+    lines.append(f"  top-k:              {int(PAPER_DEFAULTS['top_k'])}")
+    lines.append(f"  duration:           {int(PAPER_DEFAULTS['duration'])} -> {config.duration} timestamps")
+    lines.append(f"  epoch length:       {config.epoch_length} timestamps")
+    lines.append("Default-run metrics (averages per epoch)")
+    lines.append(f"  index size:         {summary['mean_index_size']:.1f}")
+    lines.append(f"  top-k score:        {summary['mean_top_k_score']:.1f}")
+    lines.append(f"  coordinator time:   {summary['mean_processing_seconds'] * 1000:.2f} ms")
+    lines.append(f"  uplink messages:    {summary['uplink_messages']:.0f}")
+    lines.append(f"  naive messages:     {summary['naive_uplink_messages']:.0f}")
+    record_result("table2_parameters", "\n".join(lines))
+
+    assert result.coordinator.index_size() > 0
+    assert summary["mean_top_k_score"] > 0.0

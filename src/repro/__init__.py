@@ -1,0 +1,69 @@
+"""Reproduction of *On-Line Discovery of Hot Motion Paths* (EDBT 2008).
+
+The package is organised around the paper's two-tier architecture:
+
+* :mod:`repro.client` — the RayTrace filter executed on every moving object,
+  including the (epsilon, delta) uncertainty-aware variant.
+* :mod:`repro.coordinator` — the SinglePath discovery strategy, the grid
+  index over motion-path endpoints and the sliding-window hotness maintenance.
+* :mod:`repro.baselines` — the Douglas-Peucker opening-window variants and the
+  relaxed DP hot-segment baseline used as the paper's competitor, plus a naive
+  "send everything" client.
+* :mod:`repro.network` / :mod:`repro.workload` — the synthetic road network and
+  the network-constrained moving-object workload generator from Section 6.1.
+* :mod:`repro.simulation` — the discrete-time simulation engine that wires
+  clients and coordinator together and records the evaluation metrics.
+* :mod:`repro.experiments` — runners that regenerate every figure of the
+  paper's evaluation section.
+
+Quickstart::
+
+    from repro import HotPathSimulation, SimulationConfig
+
+    config = SimulationConfig(num_objects=500, tolerance=10.0)
+    sim = HotPathSimulation(config)
+    result = sim.run()
+    for path in result.top_k_paths(10):
+        print(path.path, path.hotness)
+"""
+
+from repro.core.geometry import Point, Rectangle, max_distance
+from repro.core.trajectory import TimePoint, Trajectory, UncertainTimePoint
+from repro.core.motion_path import MotionPath, MotionPathRecord
+from repro.core.scoring import top_k_score, path_score
+from repro.client.raytrace import RayTraceFilter
+from repro.client.state import ObjectState
+from repro.client.uncertainty import NormalToleranceModel
+from repro.coordinator.coordinator import Coordinator
+from repro.coordinator.single_path import SinglePathStrategy
+from repro.simulation.engine import HotPathSimulation, SimulationConfig, SimulationResult
+from repro.network.generator import SyntheticRoadNetworkGenerator, NetworkConfig
+from repro.workload.moving_objects import MovingObjectWorkload, WorkloadConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Point",
+    "Rectangle",
+    "max_distance",
+    "TimePoint",
+    "UncertainTimePoint",
+    "Trajectory",
+    "MotionPath",
+    "MotionPathRecord",
+    "top_k_score",
+    "path_score",
+    "RayTraceFilter",
+    "ObjectState",
+    "NormalToleranceModel",
+    "Coordinator",
+    "SinglePathStrategy",
+    "HotPathSimulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "SyntheticRoadNetworkGenerator",
+    "NetworkConfig",
+    "MovingObjectWorkload",
+    "WorkloadConfig",
+    "__version__",
+]

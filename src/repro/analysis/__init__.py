@@ -1,0 +1,26 @@
+"""Analysis utilities: exporting and rendering discovered motion paths."""
+
+from repro.analysis.export import paths_to_csv, paths_to_wkt, write_csv
+from repro.analysis.render import AsciiMapRenderer, render_hot_paths
+from repro.analysis.statistics import (
+    DistributionSummary,
+    HotPathStatistics,
+    NetworkAlignment,
+    hot_path_statistics,
+    network_alignment,
+    summarise_distribution,
+)
+
+__all__ = [
+    "paths_to_csv",
+    "paths_to_wkt",
+    "write_csv",
+    "AsciiMapRenderer",
+    "render_hot_paths",
+    "DistributionSummary",
+    "HotPathStatistics",
+    "NetworkAlignment",
+    "hot_path_statistics",
+    "network_alignment",
+    "summarise_distribution",
+]

@@ -1,0 +1,182 @@
+"""Descriptive statistics over discovered motion paths.
+
+The evaluation section of the paper reports aggregate quantities (index size,
+top-k score); when analysing a run it is equally useful to look at the full
+distributions — how hotness and path length are distributed, how much of the
+total "heat" the few hottest paths capture, and how well the discovered paths
+line up with the underlying road network when a ground-truth network is
+available (Figures 9/10 make that comparison visually).  This module provides
+those summaries as plain data classes so examples, notebooks and tests can use
+them without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.motion_path import MotionPathRecord
+from repro.network.road_network import RoadNetwork
+from repro.baselines.douglas_peucker import perpendicular_distance
+
+__all__ = [
+    "DistributionSummary",
+    "HotPathStatistics",
+    "NetworkAlignment",
+    "summarise_distribution",
+    "hot_path_statistics",
+    "network_alignment",
+]
+
+HotPath = Tuple[MotionPathRecord, int]
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    median: float
+    p90: float
+    total: float
+
+    @classmethod
+    def empty(cls) -> "DistributionSummary":
+        return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def summarise_distribution(values: Sequence[float]) -> DistributionSummary:
+    """Summarise a sample of values; an empty sample yields the zero summary."""
+    if not values:
+        return DistributionSummary.empty()
+    ordered = sorted(values)
+    n = len(ordered)
+
+    def percentile(fraction: float) -> float:
+        if n == 1:
+            return ordered[0]
+        position = fraction * (n - 1)
+        lower = int(math.floor(position))
+        upper = min(lower + 1, n - 1)
+        weight = position - lower
+        return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+    return DistributionSummary(
+        count=n,
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        mean=sum(ordered) / n,
+        median=percentile(0.5),
+        p90=percentile(0.9),
+        total=sum(ordered),
+    )
+
+
+@dataclass(frozen=True)
+class HotPathStatistics:
+    """Joint summary of a set of hot motion paths."""
+
+    hotness: DistributionSummary
+    length: DistributionSummary
+    score: DistributionSummary
+    top_decile_heat_share: float
+
+    @property
+    def num_paths(self) -> int:
+        return self.hotness.count
+
+
+def hot_path_statistics(hot_paths: Iterable[HotPath]) -> HotPathStatistics:
+    """Distributions of hotness, length and score over a hot-path set.
+
+    ``top_decile_heat_share`` is the fraction of the total hotness captured by
+    the hottest 10% of paths — a concentration measure: a value close to 1
+    means a few very hot corridors dominate, which is exactly the situation
+    the top-k query is designed for.
+    """
+    paths = list(hot_paths)
+    hotness_values = [float(hotness) for _, hotness in paths]
+    length_values = [record.path.length for record, _ in paths]
+    score_values = [hotness * record.path.length for record, hotness in paths]
+
+    share = 0.0
+    total_heat = sum(hotness_values)
+    if paths and total_heat > 0:
+        ordered = sorted(hotness_values, reverse=True)
+        decile = max(1, len(ordered) // 10)
+        share = sum(ordered[:decile]) / total_heat
+
+    return HotPathStatistics(
+        hotness=summarise_distribution(hotness_values),
+        length=summarise_distribution(length_values),
+        score=summarise_distribution(score_values),
+        top_decile_heat_share=share,
+    )
+
+
+@dataclass(frozen=True)
+class NetworkAlignment:
+    """How well discovered paths align with a ground-truth road network."""
+
+    paths_considered: int
+    aligned_paths: int
+    mean_endpoint_distance: float
+    alignment_tolerance: float
+
+    @property
+    def aligned_fraction(self) -> float:
+        if self.paths_considered == 0:
+            return 0.0
+        return self.aligned_paths / self.paths_considered
+
+
+def network_alignment(
+    hot_paths: Iterable[HotPath],
+    network: RoadNetwork,
+    tolerance: float,
+    min_hotness: int = 1,
+) -> NetworkAlignment:
+    """Measure how close discovered path endpoints are to the (hidden) network.
+
+    A path is *aligned* when both of its endpoints lie within ``tolerance`` of
+    some network link.  The algorithms never see the network, so a high
+    aligned fraction is evidence that the discovered paths trace real roads
+    (the quantitative counterpart of Figure 9).
+    """
+    if tolerance <= 0:
+        raise ConfigurationError(f"tolerance must be positive, got {tolerance}")
+    links = [
+        (network.node(link.source).location, network.node(link.target).location)
+        for link in network.links()
+    ]
+    if not links:
+        raise ConfigurationError("cannot align against an empty network")
+
+    def distance_to_network(point) -> float:
+        return min(perpendicular_distance(point, start, end) for start, end in links)
+
+    considered = 0
+    aligned = 0
+    distance_sum = 0.0
+    for record, hotness in hot_paths:
+        if hotness < min_hotness:
+            continue
+        considered += 1
+        start_distance = distance_to_network(record.path.start)
+        end_distance = distance_to_network(record.path.end)
+        distance_sum += (start_distance + end_distance) / 2.0
+        if start_distance <= tolerance and end_distance <= tolerance:
+            aligned += 1
+
+    mean_distance = distance_sum / considered if considered else 0.0
+    return NetworkAlignment(
+        paths_considered=considered,
+        aligned_paths=aligned,
+        mean_endpoint_distance=mean_distance,
+        alignment_tolerance=tolerance,
+    )

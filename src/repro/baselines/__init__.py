@@ -1,0 +1,18 @@
+"""Baselines: Douglas-Peucker variants, the DP hot-segment method and the naive client."""
+
+from repro.baselines.douglas_peucker import douglas_peucker, perpendicular_distance, synchronous_distance
+from repro.baselines.opening_window import OpeningWindowPolicy, opening_window_simplify
+from repro.baselines.dp_hot import DPHotSegmentTracker, DPSegmentRecord
+from repro.baselines.naive import NaiveClient, NaiveCoordinator
+
+__all__ = [
+    "douglas_peucker",
+    "perpendicular_distance",
+    "synchronous_distance",
+    "OpeningWindowPolicy",
+    "opening_window_simplify",
+    "DPHotSegmentTracker",
+    "DPSegmentRecord",
+    "NaiveClient",
+    "NaiveCoordinator",
+]

@@ -1,0 +1,110 @@
+"""Classic (offline) Douglas-Peucker line simplification.
+
+The paper's related-work section builds on the Douglas-Peucker algorithm [8]
+and its opening-window adaptations [20]; this module provides the offline
+algorithm both for completeness and because the opening-window variants and
+the DP hot-segment baseline reuse its distance primitives.
+
+Two distance notions are supported:
+
+* :func:`perpendicular_distance` — the classic spatial distance from a point to
+  the supporting line of a segment (what the original algorithm uses);
+* :func:`synchronous_distance` — the spatiotemporal variant used for
+  trajectories: the distance between a timepoint and the position obtained by
+  linearly interpolating the segment's endpoints at the timepoint's timestamp.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.geometry import Point, euclidean_distance, max_distance
+from repro.core.trajectory import TimePoint
+
+__all__ = ["perpendicular_distance", "synchronous_distance", "douglas_peucker"]
+
+
+def perpendicular_distance(point: Point, start: Point, end: Point) -> float:
+    """Euclidean distance from ``point`` to the segment ``start -> end``.
+
+    For a degenerate segment the distance to the (single) endpoint is returned.
+    """
+    dx = end.x - start.x
+    dy = end.y - start.y
+    length_squared = dx * dx + dy * dy
+    if length_squared == 0.0:
+        return euclidean_distance(point, start)
+    # Projection parameter of `point` onto the segment, clamped to [0, 1].
+    t = ((point.x - start.x) * dx + (point.y - start.y) * dy) / length_squared
+    t = min(max(t, 0.0), 1.0)
+    projection = Point(start.x + t * dx, start.y + t * dy)
+    return euclidean_distance(point, projection)
+
+
+def synchronous_distance(timepoint: TimePoint, start: TimePoint, end: TimePoint) -> float:
+    """Spatiotemporal distance of ``timepoint`` to the segment ``start -> end``.
+
+    The segment is interpreted as uniform motion from ``start`` to ``end``;
+    the distance is the max-distance between the timepoint's position and the
+    interpolated position at the same timestamp, matching how motion-path
+    proximity is defined in the paper.
+    """
+    span = end.timestamp - start.timestamp
+    if span == 0:
+        return max_distance(timepoint.point, start.point)
+    fraction = (timepoint.timestamp - start.timestamp) / span
+    interpolated = Point(
+        start.x + fraction * (end.x - start.x),
+        start.y + fraction * (end.y - start.y),
+    )
+    return max_distance(timepoint.point, interpolated)
+
+
+def douglas_peucker(
+    timepoints: Sequence[TimePoint],
+    tolerance: float,
+    spatiotemporal: bool = True,
+) -> List[TimePoint]:
+    """Offline Douglas-Peucker simplification of a trajectory.
+
+    Returns the subset of ``timepoints`` (always including the first and last)
+    such that every dropped timepoint is within ``tolerance`` of the segment
+    joining its surviving neighbours.  With ``spatiotemporal=True`` the
+    time-synchronised distance is used, otherwise the classic perpendicular
+    distance.
+    """
+    if tolerance < 0:
+        raise ConfigurationError(f"tolerance must be non-negative, got {tolerance}")
+    n = len(timepoints)
+    if n <= 2:
+        return list(timepoints)
+
+    keep = [False] * n
+    keep[0] = keep[n - 1] = True
+    # Iterative stack-based recursion to avoid Python recursion limits on long
+    # trajectories.
+    stack = [(0, n - 1)]
+    while stack:
+        first, last = stack.pop()
+        max_dist = -1.0
+        max_index = -1
+        for index in range(first + 1, last):
+            if spatiotemporal:
+                dist = synchronous_distance(
+                    timepoints[index], timepoints[first], timepoints[last]
+                )
+            else:
+                dist = perpendicular_distance(
+                    timepoints[index].point, timepoints[first].point, timepoints[last].point
+                )
+            if dist > max_dist:
+                max_dist = dist
+                max_index = index
+        if max_dist > tolerance and max_index > 0:
+            keep[max_index] = True
+            stack.append((first, max_index))
+            stack.append((max_index, last))
+
+    return [tp for tp, kept in zip(timepoints, keep) if kept]

@@ -1,0 +1,126 @@
+"""Opening-window Douglas-Peucker variants (Meratnia & de By, EDBT 2004).
+
+These are the streaming adaptations referenced as [20] in the paper: instead
+of simplifying a complete trajectory offline, the algorithm fixes a starting
+point and repeatedly extends a candidate segment to the newest measurement
+(the *floating endpoint*), checking that all intermediate measurements stay
+within the tolerance.  When the check fails the segment is closed and a new
+one starts.  Two closing policies exist:
+
+* ``NOPW`` (normal opening window, the conservative policy) — close the
+  segment at the intermediate point that violated the tolerance the most;
+* ``BOPW`` (before opening window, the eager policy) — close the segment at
+  the measurement just before the floating endpoint.
+
+The output is a sequence of segments whose endpoints are original
+measurements, i.e. a strict trajectory synopsis.  The DP hot-segment baseline
+of Section 6 builds on this generator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.trajectory import TimePoint
+from repro.baselines.douglas_peucker import synchronous_distance
+
+__all__ = ["OpeningWindowPolicy", "OpeningWindowSegment", "OpeningWindowSimplifier", "opening_window_simplify"]
+
+
+class OpeningWindowPolicy(enum.Enum):
+    """Closing policy of the opening-window algorithm."""
+
+    NOPW = "nopw"
+    BOPW = "bopw"
+
+
+@dataclass(frozen=True)
+class OpeningWindowSegment:
+    """One simplification segment produced by the opening-window algorithm."""
+
+    start: TimePoint
+    end: TimePoint
+
+    @property
+    def duration(self) -> int:
+        return self.end.timestamp - self.start.timestamp
+
+
+class OpeningWindowSimplifier:
+    """Streaming opening-window simplifier for a single object's measurements.
+
+    Feed measurements with :meth:`observe`; each call returns the segment that
+    was closed by this measurement, if any.  Call :meth:`flush` at the end of
+    the stream to obtain the final (open) segment.
+    """
+
+    def __init__(self, tolerance: float, policy: OpeningWindowPolicy = OpeningWindowPolicy.NOPW) -> None:
+        if tolerance <= 0:
+            raise ConfigurationError(f"tolerance must be positive, got {tolerance}")
+        self.tolerance = tolerance
+        self.policy = policy
+        self._window: List[TimePoint] = []
+
+    @property
+    def window_size(self) -> int:
+        """Number of measurements currently buffered in the opening window."""
+        return len(self._window)
+
+    def observe(self, timepoint: TimePoint) -> Optional[OpeningWindowSegment]:
+        """Process one measurement; return the closed segment when one is emitted."""
+        if not self._window:
+            self._window.append(timepoint)
+            return None
+        candidate_start = self._window[0]
+        # Check all intermediate points against the candidate segment ending at
+        # the new floating endpoint.
+        worst_distance = -1.0
+        worst_index = -1
+        for index in range(1, len(self._window)):
+            distance = synchronous_distance(self._window[index], candidate_start, timepoint)
+            if distance > worst_distance:
+                worst_distance = distance
+                worst_index = index
+        if worst_distance <= self.tolerance:
+            self._window.append(timepoint)
+            return None
+
+        # Violation: close the segment according to the policy.
+        if self.policy is OpeningWindowPolicy.NOPW:
+            split_index = worst_index
+        else:
+            split_index = len(self._window) - 1
+        segment = OpeningWindowSegment(candidate_start, self._window[split_index])
+        # The new window starts at the split point and keeps the measurements
+        # after it (still to be covered), followed by the new measurement.
+        self._window = self._window[split_index:] + [timepoint]
+        return segment
+
+    def flush(self) -> Optional[OpeningWindowSegment]:
+        """Close and return the final open segment (``None`` for a trivial window)."""
+        if len(self._window) < 2:
+            return None
+        segment = OpeningWindowSegment(self._window[0], self._window[-1])
+        self._window = [self._window[-1]]
+        return segment
+
+
+def opening_window_simplify(
+    timepoints: Iterable[TimePoint],
+    tolerance: float,
+    policy: OpeningWindowPolicy = OpeningWindowPolicy.NOPW,
+) -> List[OpeningWindowSegment]:
+    """Simplify a complete measurement sequence with the opening-window algorithm."""
+    simplifier = OpeningWindowSimplifier(tolerance, policy)
+    segments: List[OpeningWindowSegment] = []
+    for timepoint in timepoints:
+        closed = simplifier.observe(timepoint)
+        if closed is not None:
+            segments.append(closed)
+    final = simplifier.flush()
+    if final is not None:
+        segments.append(final)
+    return segments

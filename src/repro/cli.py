@@ -1,0 +1,219 @@
+"""Command-line interface for running simulations and regenerating experiments.
+
+The CLI wraps the same runners the benchmark suite uses, so a user who just
+wants the paper's figures (or a quick simulation summary) does not need to
+write any Python:
+
+.. code-block:: console
+
+    python -m repro run --objects 500 --tolerance 10 --duration 150
+    python -m repro figure7 --scale 0.02
+    python -m repro figure8 --scale 0.02 --csv results/
+    python -m repro figure9
+    python -m repro ablations --csv results/
+
+Every subcommand prints a human-readable table to stdout; ``--csv DIR``
+additionally writes machine-readable CSV files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.statistics import hot_path_statistics
+from repro.experiments.ablations import (
+    run_communication_ablation,
+    run_grid_resolution_ablation,
+    run_uncertainty_ablation,
+)
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9, run_figure10
+from repro.experiments.report import ablation_rows_to_csv, write_experiment_bundle, write_sweep_csv
+from repro.network.generator import NetworkConfig
+from repro.simulation.engine import HotPathSimulation, SimulationConfig
+
+__all__ = ["build_parser", "main"]
+
+
+def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
+    if args.scale >= 1.0:
+        return ExperimentScale(population=1.0, duration=1.0, network_nodes_per_axis=33)
+    nodes = max(6, min(33, int(33 * (args.scale ** 0.5) * 2)))
+    return ExperimentScale(
+        population=args.scale,
+        duration=max(0.2, min(1.0, args.scale * 10)),
+        network_nodes_per_axis=nodes,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hot motion path discovery (EDBT 2008 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one simulation and print a summary")
+    run_parser.add_argument("--objects", type=int, default=500, help="number of moving objects")
+    run_parser.add_argument("--tolerance", type=float, default=10.0, help="tolerance epsilon in metres")
+    run_parser.add_argument("--delta", type=float, default=0.0, help="uncertainty failure probability")
+    run_parser.add_argument("--window", type=int, default=100, help="sliding window W in timestamps")
+    run_parser.add_argument("--duration", type=int, default=150, help="simulated timestamps")
+    run_parser.add_argument("--epoch", type=int, default=10, help="epoch length in timestamps")
+    run_parser.add_argument("--top-k", type=int, default=10, help="number of hot paths to report")
+    run_parser.add_argument("--seed", type=int, default=42)
+    run_parser.add_argument("--network-nodes", type=int, default=10, help="grid nodes per axis")
+    run_parser.add_argument("--area", type=float, default=4000.0, help="area side length in metres")
+
+    for name, description in (
+        ("figure7", "regenerate the Figure 7 sweep (vary the number of objects)"),
+        ("figure8", "regenerate the Figure 8 sweep (vary the tolerance)"),
+        ("ablations", "run the communication/uncertainty/grid ablations"),
+    ):
+        sub = subparsers.add_parser(name, help=description)
+        sub.add_argument("--scale", type=float, default=0.02, help="population scale factor (1.0 = paper)")
+        sub.add_argument("--seed", type=int, default=42)
+        sub.add_argument("--csv", type=Path, default=None, help="directory for CSV output")
+
+    for name, description in (
+        ("figure9", "render the discovered network (Figure 9)"),
+        ("figure10", "render the top-20 hottest central paths (Figure 10)"),
+    ):
+        sub = subparsers.add_parser(name, help=description)
+        sub.add_argument("--scale", type=float, default=0.02)
+        sub.add_argument("--seed", type=int, default=42)
+        sub.add_argument("--width", type=int, default=72)
+        sub.add_argument("--height", type=int, default=30)
+
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = SimulationConfig(
+        num_objects=args.objects,
+        tolerance=args.tolerance,
+        delta=args.delta,
+        window=args.window,
+        epoch_length=args.epoch,
+        duration=args.duration,
+        top_k=args.top_k,
+        seed=args.seed,
+        network_config=NetworkConfig(area_size=args.area, grid_nodes_per_axis=args.network_nodes),
+    )
+    result = HotPathSimulation(config).run()
+    summary = result.summary()
+    print(f"objects={config.num_objects} tolerance={config.tolerance} duration={config.duration}")
+    print(f"index size (final / mean per epoch): {summary['final_index_size']:.0f} / {summary['mean_index_size']:.1f}")
+    print(f"top-{config.top_k} score (mean per epoch):  {summary['mean_top_k_score']:.1f}")
+    print(f"coordinator time per epoch:          {summary['mean_processing_seconds'] * 1000:.2f} ms")
+    print(f"uplink messages (RayTrace / naive):  {summary['uplink_messages']:.0f} / {summary['naive_uplink_messages']:.0f}")
+    print(f"message reduction vs naive:          {summary['message_reduction_versus_naive'] * 100:.1f}%")
+    statistics = hot_path_statistics(result.hot_paths())
+    print(f"hotness distribution: max={statistics.hotness.maximum:.0f} mean={statistics.hotness.mean:.2f}")
+    print(f"top-decile heat share: {statistics.top_decile_heat_share * 100:.1f}%")
+    print(f"\ntop-{config.top_k} hottest motion paths:")
+    for rank, scored in enumerate(result.top_k_paths(), start=1):
+        print(
+            f"  {rank:2d}. hotness={scored.hotness:<3d} length={scored.path.length:8.1f} "
+            f"({scored.path.start.x:.1f}, {scored.path.start.y:.1f}) -> "
+            f"({scored.path.end.x:.1f}, {scored.path.end.y:.1f})"
+        )
+    return 0
+
+
+def _command_figure7(args: argparse.Namespace) -> int:
+    report = run_figure7(scale=_scale_from_args(args), seed=args.seed)
+    print(report.format_table())
+    if args.csv is not None:
+        path = write_sweep_csv(report.rows, Path(args.csv) / "figure7.csv")
+        print(f"csv written to {path}")
+    return 0
+
+
+def _command_figure8(args: argparse.Namespace) -> int:
+    report = run_figure8(scale=_scale_from_args(args), seed=args.seed)
+    print(report.format_table())
+    if args.csv is not None:
+        path = write_sweep_csv(report.rows, Path(args.csv) / "figure8.csv")
+        print(f"csv written to {path}")
+    return 0
+
+
+def _command_figure9(args: argparse.Namespace) -> int:
+    report = run_figure9(
+        scale=_scale_from_args(args), seed=args.seed, map_width=args.width, map_height=args.height
+    )
+    print("Ground-truth network:")
+    print(report.network_map)
+    print("\nDiscovered motion paths:")
+    print(report.discovered_map)
+    print(f"\nhot paths: {len(report.hot_paths)}  coverage: {report.coverage_fraction() * 100:.1f}%")
+    return 0
+
+
+def _command_figure10(args: argparse.Namespace) -> int:
+    report = run_figure10(
+        scale=_scale_from_args(args), seed=args.seed, map_width=args.width, map_height=args.height
+    )
+    print(report.discovered_map)
+    print(f"\ntop paths rendered: {len(report.hot_paths)}")
+    return 0
+
+
+def _command_ablations(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    communication = run_communication_ablation(scale=scale, seed=args.seed)
+    uncertainty = run_uncertainty_ablation(scale=scale, seed=args.seed)
+    grid = run_grid_resolution_ablation(scale=scale, seed=args.seed)
+
+    print("communication (RayTrace vs naive):")
+    for row in communication:
+        print(f"  eps={row.tolerance:<5.1f} raytrace={row.raytrace_messages:<7d} naive={row.naive_messages:<7d} "
+              f"reduction={row.reduction * 100:.1f}%")
+    print("uncertainty (delta sweep):")
+    for row in uncertainty:
+        print(f"  delta={row.delta:<5.2f} messages={row.uplink_messages:<7d} index={row.mean_index_size:.1f}")
+    print("grid resolution:")
+    for row in grid:
+        print(f"  cells={row.cells_per_axis:<4d} time/epoch={row.mean_processing_seconds * 1000:.2f} ms "
+              f"index={row.mean_index_size:.1f}")
+
+    if args.csv is not None:
+        written = write_experiment_bundle(
+            args.csv,
+            ablations={
+                "communication": communication,
+                "uncertainty": uncertainty,
+                "grid_resolution": grid,
+            },
+        )
+        for path in written:
+            print(f"csv written to {path}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _command_run,
+    "figure7": _command_figure7,
+    "figure8": _command_figure8,
+    "figure9": _command_figure9,
+    "figure10": _command_figure10,
+    "ablations": _command_ablations,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,272 @@
+"""The RayTrace filter executed on every moving object (paper Section 4, Algorithm 1).
+
+RayTrace is a one-pass greedy algorithm with O(1) state.  It maintains a
+*Spatial Safe Area* (SSA): a spatiotemporal pyramid anchored at an initial
+timepoint ``<s, t_s>`` whose cross-section at the current final timestamp
+``t_e`` is the *Final Safe Area* (FSA) rectangle.  The invariant is that a
+motion path ``s -> e`` exists for every point ``e`` inside the FSA, crossed by
+the object during ``[t_s, t_e]``.
+
+For each incoming measurement the filter projects the SSA onto the
+measurement's timestamp, intersects the projection with the measurement's
+tolerance square and, if the intersection is non-empty, adopts it as the new
+FSA.  When the intersection is empty the SSA cannot grow: the object sends its
+compact state to the coordinator and enters *waiting mode*, buffering further
+measurements until the coordinator's response (which arrives at the next
+epoch) supplies the initial timepoint of the next SSA.  That hand-off is what
+chains consecutive motion paths into a covering set.
+
+Uncertainty-aware filtering (Section 4.1) only changes how the tolerance
+square is computed: an :class:`~repro.client.uncertainty.NormalToleranceModel`
+derives per-axis admissible intervals from the measurement's reported sigmas.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Union
+
+from repro.core.errors import ConfigurationError, CoordinatorError
+from repro.core.geometry import Point, Rectangle
+from repro.core.trajectory import TimePoint, UncertainTimePoint
+from repro.client.state import CoordinatorResponse, ObjectState
+from repro.client.uncertainty import NormalToleranceModel
+
+__all__ = ["RayTraceConfig", "RayTraceStatistics", "RayTraceFilter"]
+
+Measurement = Union[TimePoint, UncertainTimePoint]
+
+
+@dataclass(frozen=True)
+class RayTraceConfig:
+    """Configuration of a RayTrace filter.
+
+    ``epsilon`` is the spatial tolerance.  When ``delta`` is positive the
+    filter treats measurements as uncertain and uses the Gaussian tolerance
+    model; otherwise tolerance squares have fixed side ``2 * epsilon``.
+    """
+
+    epsilon: float
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {self.epsilon}")
+        if not 0.0 <= self.delta < 1.0:
+            raise ConfigurationError(f"delta must be in [0, 1), got {self.delta}")
+
+
+@dataclass
+class RayTraceStatistics:
+    """Counters describing the filtering behaviour of one object."""
+
+    measurements_processed: int = 0
+    states_sent: int = 0
+    responses_received: int = 0
+    buffered_high_watermark: int = 0
+
+    @property
+    def suppression_ratio(self) -> float:
+        """Fraction of measurements that did *not* trigger a state message."""
+        if self.measurements_processed == 0:
+            return 0.0
+        return 1.0 - self.states_sent / self.measurements_processed
+
+
+class RayTraceFilter:
+    """Client-side filter maintaining the Spatial Safe Area for one object.
+
+    The filter is driven by two entry points: :meth:`observe` for every new
+    location measurement, and :meth:`receive_response` when the coordinator's
+    reply arrives at an epoch boundary.  Both return the state message emitted
+    as a consequence (if any), which the simulation engine forwards to the
+    coordinator.
+    """
+
+    def __init__(
+        self,
+        object_id: int,
+        initial: Measurement,
+        config: RayTraceConfig,
+        tolerance_model: Optional[NormalToleranceModel] = None,
+    ) -> None:
+        self.object_id = object_id
+        self.config = config
+        if config.delta > 0.0 and tolerance_model is None:
+            tolerance_model = NormalToleranceModel(config.epsilon, config.delta)
+        self._tolerance_model = tolerance_model
+        self.statistics = RayTraceStatistics()
+
+        initial_tp = self._as_timepoint(initial)
+        # SSA state: start timepoint and FSA rectangle at time t_end.
+        self._t_start: int = initial_tp.timestamp
+        self._t_end: int = initial_tp.timestamp
+        self._start: Point = initial_tp.point
+        self._fsa: Rectangle = Rectangle.degenerate(initial_tp.point)
+
+        self._waiting: bool = False
+        self._buffer: Deque[Measurement] = deque()
+
+    # -- public state ------------------------------------------------------------
+
+    @property
+    def waiting(self) -> bool:
+        """True while the filter awaits the coordinator's response."""
+        return self._waiting
+
+    @property
+    def ssa_start(self) -> TimePoint:
+        """Initial timepoint of the current SSA."""
+        return TimePoint(self._start, self._t_start)
+
+    @property
+    def fsa(self) -> Rectangle:
+        """Current Final Safe Area rectangle (at time :attr:`fsa_timestamp`)."""
+        return self._fsa
+
+    @property
+    def fsa_timestamp(self) -> int:
+        return self._t_end
+
+    @property
+    def buffered_measurements(self) -> int:
+        """Number of measurements waiting to be processed after the next response."""
+        return len(self._buffer)
+
+    def current_state(self) -> ObjectState:
+        """The state message describing the current SSA."""
+        return ObjectState(
+            object_id=self.object_id,
+            start=self._start,
+            t_start=self._t_start,
+            fsa_low=self._fsa.low,
+            fsa_high=self._fsa.high,
+            t_end=self._t_end,
+        )
+
+    # -- protocol entry points ------------------------------------------------------
+
+    def observe(self, measurement: Measurement) -> Optional[ObjectState]:
+        """Process a new location measurement.
+
+        Returns the state message to transmit when the measurement breaks the
+        SSA, or ``None`` when the measurement was absorbed (or merely buffered
+        because the filter is waiting for the coordinator).
+        """
+        self.statistics.measurements_processed += 1
+        self._buffer.append(measurement)
+        self.statistics.buffered_high_watermark = max(
+            self.statistics.buffered_high_watermark, len(self._buffer)
+        )
+        if self._waiting:
+            return None
+        return self._drain_buffer()
+
+    def receive_response(self, response: CoordinatorResponse) -> Optional[ObjectState]:
+        """Handle the coordinator's response at an epoch boundary.
+
+        The response's endpoint becomes the initial timepoint of the next SSA;
+        buffered measurements are then replayed, which may immediately emit a
+        new state message (returned) and re-enter waiting mode.
+        """
+        if not self._waiting:
+            raise CoordinatorError(
+                f"object {self.object_id} received a response while not waiting"
+            )
+        if response.object_id != self.object_id:
+            raise CoordinatorError(
+                f"response for object {response.object_id} delivered to object {self.object_id}"
+            )
+        self.statistics.responses_received += 1
+        self._t_start = response.timestamp
+        self._t_end = response.timestamp
+        self._start = response.endpoint
+        self._fsa = Rectangle.degenerate(response.endpoint)
+        self._waiting = False
+        return self._drain_buffer()
+
+    # -- core SSA update -----------------------------------------------------------------
+
+    def _drain_buffer(self) -> Optional[ObjectState]:
+        """Process buffered measurements until one breaks the SSA or the buffer empties."""
+        while not self._waiting and self._buffer:
+            measurement = self._buffer.popleft()
+            emitted = self._process(measurement)
+            if emitted is not None:
+                return emitted
+        return None
+
+    def _process(self, measurement: Measurement) -> Optional[ObjectState]:
+        timepoint = self._as_timepoint(measurement)
+        if timepoint.timestamp < self._t_end:
+            raise CoordinatorError(
+                f"object {self.object_id}: measurement at t={timepoint.timestamp} "
+                f"arrived after SSA already extends to t={self._t_end}"
+            )
+        tolerance_square = self._tolerance_square(measurement)
+
+        if self._t_end == self._t_start:
+            # First measurement after the SSA start: the FSA is simply the
+            # tolerance square of this measurement (Lines 20-23 of Algorithm 1).
+            if timepoint.timestamp == self._t_start:
+                # A duplicate of the start timestamp carries no new extent.
+                return None
+            self._t_end = timepoint.timestamp
+            self._fsa = tolerance_square
+            return None
+
+        projection = self._project_ssa(timepoint.timestamp)
+        intersection = projection.intersection(tolerance_square)
+        if intersection is not None:
+            self._t_end = timepoint.timestamp
+            self._fsa = intersection
+            return None
+
+        # SSA cannot grow: report state, re-buffer the violating measurement so
+        # it is replayed against the next SSA, and wait for the coordinator.
+        # (Algorithm 1 pushes it back onto the buffer; we push it to the front
+        # to preserve temporal order relative to measurements that arrive while
+        # waiting.)
+        self._waiting = True
+        self._buffer.appendleft(measurement)
+        self.statistics.states_sent += 1
+        return self.current_state()
+
+    def _project_ssa(self, timestamp: int) -> Rectangle:
+        """Project the SSA onto the plane ``t = timestamp`` (Lines 26-27 of Algorithm 1).
+
+        The SSA is the pyramid spanned by the start point at ``t_start`` and
+        the FSA at ``t_end``; for ``timestamp >= t_end`` the projection keeps
+        expanding linearly along the same rays.
+        """
+        span = self._t_end - self._t_start
+        if span == 0:
+            return Rectangle.degenerate(self._start)
+        fraction = (timestamp - self._t_start) / span
+        low = Point(
+            self._start.x + fraction * (self._fsa.low.x - self._start.x),
+            self._start.y + fraction * (self._fsa.low.y - self._start.y),
+        )
+        high = Point(
+            self._start.x + fraction * (self._fsa.high.x - self._start.x),
+            self._start.y + fraction * (self._fsa.high.y - self._start.y),
+        )
+        # The rays may cross for fractions > 1 when the FSA lies entirely on
+        # one side of the start point; normalise the corner order.
+        return Rectangle(
+            Point(min(low.x, high.x), min(low.y, high.y)),
+            Point(max(low.x, high.x), max(low.y, high.y)),
+        )
+
+    def _tolerance_square(self, measurement: Measurement) -> Rectangle:
+        if isinstance(measurement, UncertainTimePoint) and self._tolerance_model is not None:
+            return self._tolerance_model.tolerance_square(measurement)
+        point = measurement.point
+        return Rectangle.from_center(point, self.config.epsilon)
+
+    @staticmethod
+    def _as_timepoint(measurement: Measurement) -> TimePoint:
+        if isinstance(measurement, UncertainTimePoint):
+            return measurement.certain()
+        return measurement

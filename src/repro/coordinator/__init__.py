@@ -1,0 +1,19 @@
+"""Coordinator tier: motion-path storage, hotness maintenance and SinglePath."""
+
+from repro.coordinator.grid_index import GridIndex, GridConfig
+from repro.coordinator.hotness import HotnessTracker
+from repro.coordinator.overlaps import OverlapRegion, FsaOverlapStructure
+from repro.coordinator.single_path import SinglePathStrategy
+from repro.coordinator.coordinator import Coordinator, CoordinatorConfig, EpochOutcome
+
+__all__ = [
+    "GridIndex",
+    "GridConfig",
+    "HotnessTracker",
+    "OverlapRegion",
+    "FsaOverlapStructure",
+    "SinglePathStrategy",
+    "Coordinator",
+    "CoordinatorConfig",
+    "EpochOutcome",
+]

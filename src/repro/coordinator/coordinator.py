@@ -1,0 +1,151 @@
+"""Coordinator facade: message intake, epoch processing and top-k reporting.
+
+The coordinator owns the three structures of Section 5 — the grid index over
+motion-path endpoints, the hotness tracker with its expiry event queue and the
+SinglePath strategy — and exposes the small protocol surface the simulation
+engine (or a real deployment) needs:
+
+* :meth:`submit_state` — accept a state message from a client at any time;
+* :meth:`run_epoch` — at an epoch boundary, expire stale crossings, run
+  SinglePath over the accumulated batch and return the per-object responses;
+* :meth:`top_k` / :meth:`hot_paths` — query the currently hot motion paths.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.geometry import Rectangle
+from repro.core.motion_path import MotionPathRecord
+from repro.core.scoring import ScoredPath, select_top_k, top_k_score
+from repro.client.state import CoordinatorResponse, ObjectState
+from repro.coordinator.grid_index import GridConfig, GridIndex
+from repro.coordinator.hotness import HotnessTracker
+from repro.coordinator.single_path import SinglePathStrategy
+
+__all__ = ["CoordinatorConfig", "EpochOutcome", "Coordinator"]
+
+
+@dataclass(frozen=True)
+class CoordinatorConfig:
+    """Configuration of the coordinator.
+
+    ``window`` is the sliding-window length ``W`` in time units; ``bounds`` is
+    the monitored area used to size the grid index; ``cells_per_axis`` sets the
+    grid resolution.
+    """
+
+    bounds: Rectangle
+    window: int = 100
+    cells_per_axis: int = 64
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ConfigurationError(f"window must be positive, got {self.window}")
+
+
+@dataclass
+class EpochOutcome:
+    """Result of processing one epoch at the coordinator."""
+
+    timestamp: int
+    responses: List[CoordinatorResponse] = field(default_factory=list)
+    states_processed: int = 0
+    paths_inserted: int = 0
+    paths_reused: int = 0
+    paths_expired: int = 0
+    processing_seconds: float = 0.0
+
+
+class Coordinator:
+    """Central coordinator maintaining hot motion paths over a sliding window."""
+
+    def __init__(self, config: CoordinatorConfig) -> None:
+        self.config = config
+        self.index = GridIndex(GridConfig(config.bounds, config.cells_per_axis))
+        self.hotness = HotnessTracker(config.window)
+        self.strategy = SinglePathStrategy(self.index, self.hotness)
+        self._pending_states: List[ObjectState] = []
+        self._epochs_processed = 0
+        self._total_processing_seconds = 0.0
+
+    # -- intake ---------------------------------------------------------------
+
+    def submit_state(self, state: ObjectState) -> None:
+        """Queue a state message for processing at the next epoch."""
+        self._pending_states.append(state)
+
+    @property
+    def pending_states(self) -> int:
+        return len(self._pending_states)
+
+    # -- epoch processing -----------------------------------------------------------
+
+    def run_epoch(self, now: int) -> EpochOutcome:
+        """Process all queued state messages and expire stale crossings.
+
+        ``now`` is the current timestamp (the epoch boundary).  Returns the
+        responses to deliver to the reporting objects along with bookkeeping
+        counters used by the evaluation harness.
+        """
+        started = time.perf_counter()
+        outcome = EpochOutcome(timestamp=now)
+
+        expired = self.hotness.advance_time(now)
+        for path_id in expired:
+            if path_id in self.index:
+                self.index.delete(path_id)
+        outcome.paths_expired = len(expired)
+
+        states, self._pending_states = self._pending_states, []
+        outcome.states_processed = len(states)
+        epoch_result = self.strategy.process_epoch(states)
+        outcome.responses = epoch_result.responses
+        outcome.paths_inserted = epoch_result.paths_inserted
+        outcome.paths_reused = epoch_result.paths_reused
+
+        outcome.processing_seconds = time.perf_counter() - started
+        self._epochs_processed += 1
+        self._total_processing_seconds += outcome.processing_seconds
+        return outcome
+
+    # -- queries ---------------------------------------------------------------------
+
+    def index_size(self) -> int:
+        """Number of motion paths currently stored in the grid index."""
+        return len(self.index)
+
+    def hot_paths(self) -> List[Tuple[MotionPathRecord, int]]:
+        """All stored paths with non-zero hotness, as ``(record, hotness)`` pairs."""
+        results: List[Tuple[MotionPathRecord, int]] = []
+        for path_id, hotness in self.hotness.items():
+            if path_id in self.index:
+                results.append((self.index.get(path_id), hotness))
+        return results
+
+    def top_k(self, k: int, by_score: bool = False) -> List[ScoredPath]:
+        """Top-k hottest motion paths (optionally ranked by score instead)."""
+        return select_top_k(self.hot_paths(), k, by_score=by_score)
+
+    def top_k_score(self, k: int) -> float:
+        """Average score of the current top-k set (paper's quality metric)."""
+        return top_k_score(self.top_k(k))
+
+    # -- accounting ------------------------------------------------------------------------
+
+    @property
+    def epochs_processed(self) -> int:
+        return self._epochs_processed
+
+    @property
+    def total_processing_seconds(self) -> float:
+        return self._total_processing_seconds
+
+    @property
+    def mean_processing_seconds_per_epoch(self) -> float:
+        if self._epochs_processed == 0:
+            return 0.0
+        return self._total_processing_seconds / self._epochs_processed

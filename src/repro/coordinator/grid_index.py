@@ -1,0 +1,196 @@
+"""Lightweight grid index over motion-path endpoints (paper Section 5.1).
+
+The space is partitioned into a fixed number of square cells.  For every
+stored motion path both endpoints are indexed: each cell keeps, per endpoint
+that falls inside it, the path id and the coordinates of the *other* endpoint,
+organised in a hash table for constant-time insertion and deletion.
+
+Query operations mirror what SinglePath needs:
+
+* :meth:`paths_from_into` — motion paths that start at a given vertex and end
+  inside a query rectangle (Case 1 candidates);
+* :meth:`end_vertices_in` — distinct end vertices of stored paths inside a
+  query rectangle together with the ids of the paths terminating there
+  (Case 2 candidates).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.errors import ConfigurationError, CoordinatorError
+from repro.core.geometry import Point, Rectangle
+from repro.core.motion_path import MotionPath, MotionPathRecord
+
+__all__ = ["GridConfig", "GridIndex"]
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """Extent and resolution of the grid index.
+
+    ``bounds`` is the rectangle covering the monitored area; points outside it
+    are clamped into the border cells so that objects briefly straying outside
+    the nominal area are still indexed.  ``cells_per_axis`` controls the grid
+    resolution.
+    """
+
+    bounds: Rectangle
+    cells_per_axis: int = 64
+
+    def __post_init__(self) -> None:
+        if self.cells_per_axis <= 0:
+            raise ConfigurationError(
+                f"cells_per_axis must be positive, got {self.cells_per_axis}"
+            )
+        if self.bounds.width <= 0 or self.bounds.height <= 0:
+            raise ConfigurationError("grid bounds must have positive area")
+
+
+class GridIndex:
+    """Grid-based index of motion-path endpoints keyed by path id."""
+
+    def __init__(self, config: GridConfig) -> None:
+        self.config = config
+        self._cell_width = config.bounds.width / config.cells_per_axis
+        self._cell_height = config.bounds.height / config.cells_per_axis
+        # cell -> {path_id -> (indexed endpoint, other endpoint, is_start)}
+        self._cells: Dict[Tuple[int, int], Dict[int, Tuple[Point, Point, bool]]] = {}
+        # path_id -> record, for direct lookups and deletion.
+        self._records: Dict[int, MotionPathRecord] = {}
+        self._next_path_id = 0
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, path_id: int) -> bool:
+        return path_id in self._records
+
+    @property
+    def records(self) -> Iterable[MotionPathRecord]:
+        """All stored motion-path records (unspecified order)."""
+        return self._records.values()
+
+    def get(self, path_id: int) -> MotionPathRecord:
+        """Return the record for ``path_id``; raises if absent."""
+        try:
+            return self._records[path_id]
+        except KeyError:
+            raise CoordinatorError(f"motion path {path_id} is not in the index") from None
+
+    # -- insertion / deletion -------------------------------------------------------
+
+    def insert(self, path: MotionPath, created_at: int = 0) -> MotionPathRecord:
+        """Insert a new motion path and return its record (with a fresh id)."""
+        record = MotionPathRecord(self._next_path_id, path, created_at)
+        self._next_path_id += 1
+        self._records[record.path_id] = record
+        self._cell_entry(path.start)[record.path_id] = (path.start, path.end, True)
+        self._cell_entry(path.end)[record.path_id] = (path.end, path.start, False)
+        return record
+
+    def delete(self, path_id: int) -> None:
+        """Remove a motion path from the index (e.g. when its hotness expires)."""
+        record = self.get(path_id)
+        for endpoint in (record.path.start, record.path.end):
+            cell = self._cells.get(self._cell_of(endpoint))
+            if cell is not None:
+                cell.pop(path_id, None)
+                if not cell:
+                    del self._cells[self._cell_of(endpoint)]
+        del self._records[path_id]
+
+    # -- queries ----------------------------------------------------------------------
+
+    def paths_from_into(self, start: Point, region: Rectangle) -> List[MotionPathRecord]:
+        """Motion paths starting at ``start`` whose end vertex lies inside ``region``.
+
+        ``start`` must match the stored start vertex exactly: the covering-set
+        chaining guarantees that a reporting object's SSA start coincides with
+        the endpoint the coordinator previously assigned to it.
+        """
+        results: List[MotionPathRecord] = []
+        for path_id, (endpoint, _other, is_start) in self._entries_in(region):
+            if is_start:
+                continue
+            record = self._records[path_id]
+            if record.path.start == start and region.contains_point(record.path.end):
+                results.append(record)
+        return results
+
+    def end_vertices_in(self, region: Rectangle) -> Dict[Point, List[int]]:
+        """Distinct end vertices inside ``region`` mapped to the ids of paths ending there."""
+        vertices: Dict[Point, List[int]] = {}
+        for path_id, (endpoint, _other, is_start) in self._entries_in(region):
+            if is_start:
+                continue
+            if region.contains_point(endpoint):
+                vertices.setdefault(endpoint, []).append(path_id)
+        return vertices
+
+    def paths_intersecting(self, region: Rectangle) -> List[MotionPathRecord]:
+        """Motion paths with at least one endpoint inside ``region``.
+
+        Used by the DP baseline and by analyses; SinglePath itself relies on
+        the more specific queries above.
+        """
+        seen: Set[int] = set()
+        results: List[MotionPathRecord] = []
+        for path_id, (endpoint, _other, _is_start) in self._entries_in(region):
+            if path_id in seen:
+                continue
+            if region.contains_point(endpoint):
+                seen.add(path_id)
+                results.append(self._records[path_id])
+        return results
+
+    # -- cell arithmetic ------------------------------------------------------------------
+
+    def _cell_of(self, point: Point) -> Tuple[int, int]:
+        bounds = self.config.bounds
+        col = int((point.x - bounds.low.x) / self._cell_width)
+        row = int((point.y - bounds.low.y) / self._cell_height)
+        last = self.config.cells_per_axis - 1
+        return (min(max(col, 0), last), min(max(row, 0), last))
+
+    def _cell_entry(self, point: Point) -> Dict[int, Tuple[Point, Point, bool]]:
+        return self._cells.setdefault(self._cell_of(point), {})
+
+    def _cells_overlapping(self, region: Rectangle) -> Iterator[Tuple[int, int]]:
+        low_col, low_row = self._cell_of(region.low)
+        high_col, high_row = self._cell_of(region.high)
+        for col in range(low_col, high_col + 1):
+            for row in range(low_row, high_row + 1):
+                yield (col, row)
+
+    def _entries_in(self, region: Rectangle) -> Iterator[Tuple[int, Tuple[Point, Point, bool]]]:
+        for cell_key in self._cells_overlapping(region):
+            cell = self._cells.get(cell_key)
+            if not cell:
+                continue
+            for path_id, entry in cell.items():
+                yield path_id, entry
+
+    # -- diagnostics --------------------------------------------------------------------------
+
+    def cell_statistics(self) -> Dict[str, float]:
+        """Occupancy statistics of the grid, useful for the resolution ablation."""
+        occupied = [len(cell) for cell in self._cells.values()]
+        total_cells = self.config.cells_per_axis ** 2
+        if not occupied:
+            return {
+                "occupied_cells": 0,
+                "total_cells": total_cells,
+                "max_entries_per_cell": 0,
+                "mean_entries_per_occupied_cell": 0.0,
+            }
+        return {
+            "occupied_cells": len(occupied),
+            "total_cells": total_cells,
+            "max_entries_per_cell": max(occupied),
+            "mean_entries_per_occupied_cell": sum(occupied) / len(occupied),
+        }

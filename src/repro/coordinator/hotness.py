@@ -1,0 +1,93 @@
+"""Sliding-window hotness maintenance (paper Section 5.2).
+
+The hotness of a motion path is the number of crossings recorded during the
+last ``W`` time units.  The tracker keeps a hash table ``path_id -> hotness``
+and a min-heap *event queue* of ``(expiry_time, path_id)`` tuples.  Recording
+a crossing that ended at ``t_e`` increments the counter and schedules a
+decrement at ``t_e + W``; advancing the clock pops expired events, decrements
+the counters and reports the paths whose hotness dropped to zero so the caller
+can evict them from the grid index.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.errors import ConfigurationError, CoordinatorError
+
+__all__ = ["HotnessTracker"]
+
+
+class HotnessTracker:
+    """Hash table + expiry event queue implementing the sliding window."""
+
+    def __init__(self, window: int) -> None:
+        if window <= 0:
+            raise ConfigurationError(f"window length must be positive, got {window}")
+        self.window = window
+        self._hotness: Dict[int, int] = {}
+        self._events: List[Tuple[int, int]] = []  # (expiry_time, path_id) min-heap
+
+    # -- recording --------------------------------------------------------------
+
+    def record_crossing(self, path_id: int, t_end: int) -> int:
+        """Record that an object finished crossing ``path_id`` at time ``t_end``.
+
+        Returns the updated hotness of the path.
+        """
+        new_hotness = self._hotness.get(path_id, 0) + 1
+        self._hotness[path_id] = new_hotness
+        heapq.heappush(self._events, (t_end + self.window, path_id))
+        return new_hotness
+
+    # -- expiry -------------------------------------------------------------------
+
+    def advance_time(self, now: int) -> List[int]:
+        """Expire crossings whose interval fell outside the window at time ``now``.
+
+        Returns the ids of paths whose hotness reached zero (and were removed
+        from the hash table); the caller is responsible for deleting them from
+        the spatial index.
+        """
+        vanished: List[int] = []
+        while self._events and self._events[0][0] <= now:
+            _expiry, path_id = heapq.heappop(self._events)
+            current = self._hotness.get(path_id)
+            if current is None:
+                raise CoordinatorError(
+                    f"expiry event for path {path_id} which has no hotness entry"
+                )
+            if current <= 1:
+                del self._hotness[path_id]
+                vanished.append(path_id)
+            else:
+                self._hotness[path_id] = current - 1
+        return vanished
+
+    # -- queries -------------------------------------------------------------------
+
+    def hotness(self, path_id: int) -> int:
+        """Current hotness of ``path_id`` (zero when unknown)."""
+        return self._hotness.get(path_id, 0)
+
+    def __contains__(self, path_id: int) -> bool:
+        return path_id in self._hotness
+
+    def __len__(self) -> int:
+        """Number of paths with non-zero hotness."""
+        return len(self._hotness)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled expiry events (one per recorded crossing)."""
+        return len(self._events)
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        """Iterate over ``(path_id, hotness)`` pairs."""
+        return self._hotness.items()
+
+    def total_crossings(self) -> int:
+        """Sum of hotness over all live paths."""
+        return sum(self._hotness.values())

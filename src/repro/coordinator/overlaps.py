@@ -1,0 +1,150 @@
+"""Overlap analysis of reporting objects' Final Safe Areas (paper Section 5.3).
+
+When several objects report in the same epoch and their FSAs overlap, choosing
+a *shared* endpoint inside the overlap lets a single new vertex (and therefore
+future motion paths through it) serve all of them, boosting hotness.  The
+paper maintains a structure ``R_all`` holding the original FSAs and their
+pairwise/multi-way intersections, each annotated with a *count*: the number of
+FSAs participating in the overlap.
+
+Computing every subset intersection is exponential; the structure here follows
+the paper's intent with a practical incremental construction: regions are the
+original FSAs plus intersections discovered by repeatedly intersecting new
+FSAs with existing regions, keeping for each resulting rectangle the set of
+contributing objects.  Queries used by SinglePath:
+
+* :meth:`smallest_region_containing` — the region with the *fewest* members
+  containing a vertex (its count bounds how many objects could adopt that
+  vertex);
+* :meth:`hottest_region_intersecting` — the region with the highest count that
+  intersects a given FSA (source of the fabricated candidate vertex).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.core.geometry import Point, Rectangle
+
+__all__ = ["OverlapRegion", "FsaOverlapStructure"]
+
+
+@dataclass(frozen=True)
+class OverlapRegion:
+    """A rectangle formed by intersecting the FSAs of ``members``."""
+
+    rectangle: Rectangle
+    members: FrozenSet[int]
+
+    @property
+    def count(self) -> int:
+        """Number of FSAs participating in this overlap (the region's 'hotness')."""
+        return len(self.members)
+
+
+class FsaOverlapStructure:
+    """The ``R_all`` structure of Algorithm 2: FSAs and their overlaps with counts."""
+
+    def __init__(self, max_regions: int = 10000) -> None:
+        # Cap on the number of derived regions, guarding against pathological
+        # inputs where thousands of FSAs overlap pairwise; the cap trades a
+        # little candidate quality for bounded per-epoch work.
+        self._max_regions = max_regions
+        self._regions: Dict[FrozenSet[int], Rectangle] = {}
+
+    @classmethod
+    def build(cls, fsas: Dict[int, Rectangle], max_regions: int = 10000) -> "FsaOverlapStructure":
+        """Build the structure from ``object_id -> FSA`` of all reporting objects."""
+        structure = cls(max_regions)
+        for object_id, fsa in fsas.items():
+            structure.add(object_id, fsa)
+        return structure
+
+    def add(self, object_id: int, fsa: Rectangle) -> None:
+        """Insert one object's FSA, deriving intersections with existing regions."""
+        new_regions: Dict[FrozenSet[int], Rectangle] = {}
+        singleton = frozenset([object_id])
+        new_regions[singleton] = fsa
+        if len(self._regions) < self._max_regions:
+            for members, rectangle in self._regions.items():
+                if object_id in members:
+                    continue
+                intersection = rectangle.intersection(fsa)
+                if intersection is None:
+                    continue
+                combined = members | singleton
+                existing = new_regions.get(combined)
+                if existing is None or intersection.area < existing.area:
+                    new_regions[combined] = intersection
+                if len(self._regions) + len(new_regions) >= self._max_regions:
+                    break
+        for members, rectangle in new_regions.items():
+            current = self._regions.get(members)
+            if current is None or rectangle.area < current.area:
+                self._regions[members] = rectangle
+
+    # -- queries -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def regions(self) -> Iterable[OverlapRegion]:
+        """All stored regions (original FSAs and derived overlaps)."""
+        return (
+            OverlapRegion(rectangle, members) for members, rectangle in self._regions.items()
+        )
+
+    def smallest_region_containing(self, point: Point) -> Optional[OverlapRegion]:
+        """Region with the smallest area containing ``point``.
+
+        The smallest containing region is the deepest overlap the point lies
+        in, and its count is the number of reporting objects whose FSA covers
+        the point — exactly the potential extra hotness the paper adds to an
+        available vertex (Lines 23-26 of Algorithm 2).
+        """
+        best: Optional[OverlapRegion] = None
+        for members, rectangle in self._regions.items():
+            if not rectangle.contains_point(point):
+                continue
+            if best is None or rectangle.area < best.rectangle.area or (
+                rectangle.area == best.rectangle.area and len(members) > best.count
+            ):
+                best = OverlapRegion(rectangle, members)
+        return best
+
+    def hottest_region_intersecting(self, fsa: Rectangle) -> Optional[OverlapRegion]:
+        """Region with the highest count that intersects ``fsa`` (Lines 27-32).
+
+        Ties are broken towards smaller area so the fabricated vertex lands in
+        the most specific shared region.
+        """
+        best: Optional[OverlapRegion] = None
+        for members, rectangle in self._regions.items():
+            if not rectangle.intersects(fsa):
+                continue
+            candidate = OverlapRegion(rectangle, members)
+            if best is None:
+                best = candidate
+                continue
+            if candidate.count > best.count or (
+                candidate.count == best.count
+                and candidate.rectangle.area < best.rectangle.area
+            ):
+                best = candidate
+        return best
+
+    def candidate_vertex_for(self, fsa: Rectangle) -> Optional[Tuple[Point, int]]:
+        """Fabricated candidate vertex for an object with Final Safe Area ``fsa``.
+
+        Returns the centroid of the hottest intersecting region together with
+        that region's count, or ``None`` when nothing intersects.  The centroid
+        of the *region itself* is used (Line 33 of Algorithm 2) rather than of
+        its intersection with the object's FSA, so that every object touching
+        the same overlap adopts the exact same vertex and future paths through
+        it can be shared.
+        """
+        region = self.hottest_region_intersecting(fsa)
+        if region is None:
+            return None
+        return (region.rectangle.center, region.count)

@@ -1,0 +1,225 @@
+"""The SinglePath discovery strategy (paper Section 5.3, Algorithm 2).
+
+SinglePath runs at the coordinator once per epoch, over the batch of state
+messages received since the previous epoch.  For every reporting object it
+determines the endpoint of the motion path the object just crossed, preferring
+choices that concentrate hotness on few, long paths:
+
+* **Case 1** — an already-stored motion path starts at the object's SSA start
+  and ends inside its FSA: pick the hottest such path (hotness is temporarily
+  boosted by the number of other reporting objects that could also adopt it).
+* **Case 2** — no such path, but stored paths *end* inside the FSA: their end
+  vertices become candidate endpoints, weighted by the summed hotness of the
+  paths converging on them plus the count of the deepest FSA overlap they lie
+  in.
+* **Case 3** — nothing usable in the index: fabricate one extra candidate
+  vertex inside the hottest overlap of reporting objects' FSAs intersecting
+  this object's FSA, so simultaneous reporters converge on a shared endpoint.
+
+In cases 2 and 3 a new motion path from the SSA start to the chosen vertex is
+inserted into the grid index.  In every case a crossing is recorded with the
+hotness tracker and the chosen endpoint is sent back to the object as the
+start of its next Spatial Safe Area.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.geometry import Point, Rectangle
+from repro.core.motion_path import MotionPath, MotionPathRecord
+from repro.client.state import CoordinatorResponse, ObjectState
+from repro.coordinator.grid_index import GridIndex
+from repro.coordinator.hotness import HotnessTracker
+from repro.coordinator.overlaps import FsaOverlapStructure
+
+__all__ = ["CandidatePath", "CandidateVertex", "SinglePathDecision", "SinglePathStrategy"]
+
+
+@dataclass
+class CandidatePath:
+    """An available motion path for one object, with its provisional hotness."""
+
+    record: MotionPathRecord
+    hotness: int
+
+
+@dataclass
+class CandidateVertex:
+    """A candidate endpoint for a new motion path, with its provisional hotness."""
+
+    vertex: Point
+    hotness: int
+    fabricated: bool = False
+
+
+@dataclass
+class SinglePathDecision:
+    """Outcome of SinglePath for a single reporting object."""
+
+    object_id: int
+    response: CoordinatorResponse
+    path_id: int
+    reused_existing_path: bool
+    fabricated_vertex: bool
+
+
+@dataclass
+class SinglePathEpochResult:
+    """Aggregate outcome of one SinglePath invocation (one epoch)."""
+
+    decisions: List[SinglePathDecision] = field(default_factory=list)
+    paths_inserted: int = 0
+    paths_reused: int = 0
+    vertices_fabricated: int = 0
+
+    @property
+    def responses(self) -> List[CoordinatorResponse]:
+        return [decision.response for decision in self.decisions]
+
+
+class SinglePathStrategy:
+    """Implementation of Algorithm 2 over a grid index and a hotness tracker."""
+
+    def __init__(self, index: GridIndex, hotness: HotnessTracker) -> None:
+        self._index = index
+        self._hotness = hotness
+
+    def process_epoch(self, states: Sequence[ObjectState]) -> SinglePathEpochResult:
+        """Run SinglePath over the batch of state messages of one epoch."""
+        result = SinglePathEpochResult()
+        if not states:
+            return result
+
+        # Phase 1: candidate motion paths per object and the FSA overlap structure.
+        candidate_paths: Dict[int, List[CandidatePath]] = {}
+        fsas: Dict[int, Rectangle] = {}
+        for state in states:
+            candidate_paths[state.object_id] = self._candidate_paths(state)
+            fsas[state.object_id] = state.fsa
+        overlaps = FsaOverlapStructure.build(fsas)
+
+        # Phase 2: boost hotness of paths that appear in several objects' candidate
+        # sets (Lines 13-15): each co-occurrence means another reporter could also
+        # adopt the path, making it a better shared choice.
+        occurrences: Counter = Counter()
+        for candidates in candidate_paths.values():
+            for candidate in candidates:
+                occurrences[candidate.record.path_id] += 1
+        for candidates in candidate_paths.values():
+            for candidate in candidates:
+                extra = occurrences[candidate.record.path_id] - 1
+                candidate.hotness += extra
+
+        # Phase 3: selection per object.
+        for state in states:
+            decision = self._decide(state, candidate_paths[state.object_id], overlaps)
+            result.decisions.append(decision)
+            if decision.reused_existing_path:
+                result.paths_reused += 1
+            else:
+                result.paths_inserted += 1
+            if decision.fabricated_vertex:
+                result.vertices_fabricated += 1
+        return result
+
+    # -- candidate generation ------------------------------------------------------
+
+    def _candidate_paths(self, state: ObjectState) -> List[CandidatePath]:
+        """``GetCandidatePaths``: stored paths from the SSA start into the FSA."""
+        records = self._index.paths_from_into(state.start, state.fsa)
+        return [
+            CandidatePath(record, self._hotness.hotness(record.path_id) + 1)
+            for record in records
+        ]
+
+    def _candidate_vertices(
+        self, state: ObjectState, overlaps: FsaOverlapStructure
+    ) -> List[CandidateVertex]:
+        """``GetCandidateVertices`` plus the overlap-derived extra candidate."""
+        candidates: List[CandidateVertex] = []
+        for vertex, path_ids in self._index.end_vertices_in(state.fsa).items():
+            converging = sum(self._hotness.hotness(path_id) for path_id in path_ids)
+            region = overlaps.smallest_region_containing(vertex)
+            bonus = region.count if region is not None else 0
+            candidates.append(CandidateVertex(vertex, converging + bonus))
+        fabricated = overlaps.candidate_vertex_for(state.fsa)
+        if fabricated is not None:
+            vertex, count = fabricated
+            candidates.append(CandidateVertex(vertex, count, fabricated=True))
+        if not candidates:
+            # Degenerate fall-back: nothing intersects (cannot normally happen,
+            # since the object's own FSA is part of the overlap structure), so
+            # use the FSA centroid with zero hotness.
+            candidates.append(CandidateVertex(state.fsa.center, 0, fabricated=True))
+        return candidates
+
+    # -- selection ---------------------------------------------------------------------
+
+    def _decide(
+        self,
+        state: ObjectState,
+        candidates: List[CandidatePath],
+        overlaps: FsaOverlapStructure,
+    ) -> SinglePathDecision:
+        if candidates:
+            chosen = max(
+                candidates,
+                key=lambda candidate: (candidate.hotness, -candidate.record.path_id),
+            )
+            self._hotness.record_crossing(chosen.record.path_id, state.t_end)
+            response = CoordinatorResponse(
+                state.object_id, chosen.record.path.end, state.t_end
+            )
+            return SinglePathDecision(
+                object_id=state.object_id,
+                response=response,
+                path_id=chosen.record.path_id,
+                reused_existing_path=True,
+                fabricated_vertex=False,
+            )
+
+        vertex_candidates = self._candidate_vertices(state, overlaps)
+        chosen_vertex = max(
+            vertex_candidates,
+            key=lambda candidate: (candidate.hotness, not candidate.fabricated),
+        )
+        endpoint = chosen_vertex.vertex
+        if endpoint == state.start:
+            # A zero-length path carries no information and would produce a
+            # degenerate segment; nudge the endpoint to another point of the
+            # FSA (the centroid, falling back to a corner).
+            for alternative in (state.fsa.center, state.fsa.high, state.fsa.low):
+                if alternative != state.start:
+                    endpoint = alternative
+                    break
+        record, inserted = self._insert_or_reuse(state.start, endpoint, state.t_end)
+        self._hotness.record_crossing(record.path_id, state.t_end)
+        response = CoordinatorResponse(state.object_id, endpoint, state.t_end)
+        return SinglePathDecision(
+            object_id=state.object_id,
+            response=response,
+            path_id=record.path_id,
+            reused_existing_path=not inserted,
+            fabricated_vertex=chosen_vertex.fabricated,
+        )
+
+    def _insert_or_reuse(
+        self, start: Point, endpoint: Point, t_end: int
+    ) -> Tuple[MotionPathRecord, bool]:
+        """Insert ``start -> endpoint`` unless an identical path already exists.
+
+        Objects processed later in the same epoch frequently choose the exact
+        endpoint fabricated for an earlier object (that is the point of the
+        overlap structure); crediting the already-inserted path instead of
+        storing a duplicate keeps the index small and concentrates hotness,
+        which is the stated goal of SinglePath.
+        """
+        probe = Rectangle.degenerate(endpoint)
+        for record in self._index.paths_from_into(start, probe):
+            if record.path.end == endpoint:
+                return record, False
+        record = self._index.insert(MotionPath(start, endpoint), created_at=t_end)
+        return record, True

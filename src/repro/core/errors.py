@@ -1,0 +1,44 @@
+"""Exception hierarchy for the hot motion path library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class at API boundaries while still distinguishing
+precise failure modes when they need to.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class InvalidGeometryError(ReproError):
+    """Raised when a geometric primitive is constructed with invalid data.
+
+    Examples include rectangles whose lower corner exceeds the upper corner or
+    non-finite coordinates.
+    """
+
+
+class InvalidTrajectoryError(ReproError):
+    """Raised when a trajectory violates its invariants.
+
+    A trajectory must have strictly increasing timestamps; querying a location
+    outside the observed time range is also reported through this error.
+    """
+
+
+class ToleranceError(ReproError):
+    """Raised when tolerance parameters are invalid or unsatisfiable.
+
+    The (epsilon, delta) uncertainty model can fail to admit any tolerance
+    interval when the measurement noise is too large relative to epsilon
+    (Equation 2 of the paper has no solution); that condition is surfaced via
+    this exception unless a fallback policy is configured.
+    """
+
+
+class CoordinatorError(ReproError):
+    """Raised for protocol violations between clients and the coordinator."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a simulation, workload or experiment configuration is invalid."""

@@ -1,0 +1,238 @@
+"""Timepoints, uncertain timepoints and trajectories (paper Section 3.1).
+
+A *timepoint* pairs a position with a timestamp.  A *trajectory* is the
+time-ordered sequence of timepoints recorded for one object; between two
+consecutive timestamps the object is assumed to move at constant velocity, so
+its position at any intermediate time is obtained by linear interpolation.
+
+Under positional uncertainty each measurement additionally carries the standard
+deviations of the Gaussian noise on each axis
+(:class:`UncertainTimePoint`); the RayTrace adaptation of Section 4.1 turns
+those into shrunken tolerance intervals.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.errors import InvalidTrajectoryError
+from repro.core.geometry import Point, Rectangle, interpolate_point
+
+__all__ = ["TimePoint", "UncertainTimePoint", "Trajectory"]
+
+
+@dataclass(frozen=True)
+class TimePoint:
+    """A position observed at a discrete timestamp."""
+
+    point: Point
+    timestamp: int
+
+    @property
+    def x(self) -> float:
+        return self.point.x
+
+    @property
+    def y(self) -> float:
+        return self.point.y
+
+    def as_tuple(self) -> Tuple[float, float, int]:
+        """Return ``(x, y, t)``."""
+        return (self.point.x, self.point.y, self.timestamp)
+
+
+@dataclass(frozen=True)
+class UncertainTimePoint:
+    """A noisy position measurement with per-axis Gaussian standard deviations.
+
+    ``point`` holds the reported mean location.  ``sigma_x`` / ``sigma_y`` are
+    the standard deviations of the true location around that mean; the paper
+    assumes the axes are independent.
+    """
+
+    point: Point
+    timestamp: int
+    sigma_x: float
+    sigma_y: float
+
+    def __post_init__(self) -> None:
+        if self.sigma_x < 0 or self.sigma_y < 0:
+            raise InvalidTrajectoryError(
+                f"standard deviations must be non-negative, got ({self.sigma_x}, {self.sigma_y})"
+            )
+
+    @property
+    def x(self) -> float:
+        return self.point.x
+
+    @property
+    def y(self) -> float:
+        return self.point.y
+
+    def certain(self) -> TimePoint:
+        """Drop the uncertainty and return the mean location as a plain timepoint."""
+        return TimePoint(self.point, self.timestamp)
+
+
+class Trajectory:
+    """A time-ordered sequence of timepoints for a single object.
+
+    The class enforces strictly increasing timestamps, supports interpolation
+    at arbitrary times inside the observed range, and offers the bounding-box
+    and proximity helpers needed by tests and by the baselines.
+    """
+
+    __slots__ = ("object_id", "_timepoints", "_timestamps")
+
+    def __init__(self, object_id: int = 0, timepoints: Optional[Iterable[TimePoint]] = None) -> None:
+        self.object_id = object_id
+        self._timepoints: List[TimePoint] = []
+        self._timestamps: List[int] = []
+        if timepoints is not None:
+            for timepoint in timepoints:
+                self.append(timepoint)
+
+    # -- mutation -------------------------------------------------------------
+
+    def append(self, timepoint: TimePoint) -> None:
+        """Append a timepoint; its timestamp must exceed the current last one."""
+        if self._timestamps and timepoint.timestamp <= self._timestamps[-1]:
+            raise InvalidTrajectoryError(
+                f"timestamps must strictly increase: {timepoint.timestamp} after {self._timestamps[-1]}"
+            )
+        self._timepoints.append(timepoint)
+        self._timestamps.append(timepoint.timestamp)
+
+    def extend(self, timepoints: Iterable[TimePoint]) -> None:
+        """Append several timepoints in order."""
+        for timepoint in timepoints:
+            self.append(timepoint)
+
+    # -- container protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._timepoints)
+
+    def __iter__(self) -> Iterator[TimePoint]:
+        return iter(self._timepoints)
+
+    def __getitem__(self, index: int) -> TimePoint:
+        return self._timepoints[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._timepoints)
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def timepoints(self) -> Sequence[TimePoint]:
+        """Read-only view of the underlying timepoints."""
+        return tuple(self._timepoints)
+
+    @property
+    def start_time(self) -> int:
+        if not self._timepoints:
+            raise InvalidTrajectoryError("empty trajectory has no start time")
+        return self._timestamps[0]
+
+    @property
+    def end_time(self) -> int:
+        if not self._timepoints:
+            raise InvalidTrajectoryError("empty trajectory has no end time")
+        return self._timestamps[-1]
+
+    @property
+    def duration(self) -> int:
+        """Time spanned by the trajectory (zero for a single timepoint)."""
+        return self.end_time - self.start_time
+
+    def location_at(self, timestamp: float) -> Point:
+        """Position of the object at ``timestamp`` using linear interpolation.
+
+        Raises :class:`InvalidTrajectoryError` when the timestamp falls outside
+        the observed range, matching the paper's definition of ``T(t)``.
+        """
+        if not self._timepoints:
+            raise InvalidTrajectoryError("cannot interpolate an empty trajectory")
+        if timestamp < self._timestamps[0] or timestamp > self._timestamps[-1]:
+            raise InvalidTrajectoryError(
+                f"timestamp {timestamp} outside observed range "
+                f"[{self._timestamps[0]}, {self._timestamps[-1]}]"
+            )
+        index = bisect.bisect_left(self._timestamps, timestamp)
+        if index < len(self._timestamps) and self._timestamps[index] == timestamp:
+            return self._timepoints[index].point
+        previous = self._timepoints[index - 1]
+        following = self._timepoints[index]
+        span = following.timestamp - previous.timestamp
+        fraction = (timestamp - previous.timestamp) / span
+        return interpolate_point(previous.point, following.point, fraction)
+
+    def covers_time(self, timestamp: float) -> bool:
+        """True when ``timestamp`` lies inside the observed time range."""
+        if not self._timepoints:
+            return False
+        return self._timestamps[0] <= timestamp <= self._timestamps[-1]
+
+    def bounding_box(self, padding: float = 0.0) -> Rectangle:
+        """Minimum bounding rectangle of all observed positions."""
+        if not self._timepoints:
+            raise InvalidTrajectoryError("empty trajectory has no bounding box")
+        xs = [tp.x for tp in self._timepoints]
+        ys = [tp.y for tp in self._timepoints]
+        return Rectangle(
+            Point(min(xs) - padding, min(ys) - padding),
+            Point(max(xs) + padding, max(ys) + padding),
+        )
+
+    def total_length(self) -> float:
+        """Sum of Euclidean lengths of the consecutive segments."""
+        total = 0.0
+        for previous, following in zip(self._timepoints, self._timepoints[1:]):
+            total += previous.point.euclidean_distance_to(following.point)
+        return total
+
+    def passes_near(self, point: Point, tolerance: float) -> bool:
+        """True when the (interpolated) trajectory gets within ``tolerance`` of ``point``.
+
+        Proximity is evaluated with the max-distance metric at every discrete
+        timestamp in the observed range, which is exactly the paper's notion of
+        a point being *close* to an object given that time is discrete.
+        """
+        if not self._timepoints:
+            return False
+        for timestamp in range(self.start_time, self.end_time + 1):
+            if self.location_at(timestamp).max_distance_to(point) <= tolerance:
+                return True
+        return False
+
+    def slice_time(self, start: int, end: int) -> "Trajectory":
+        """Return a new trajectory restricted to timepoints with ``start <= t <= end``."""
+        if start > end:
+            raise InvalidTrajectoryError(f"invalid time slice [{start}, {end}]")
+        selected = [tp for tp in self._timepoints if start <= tp.timestamp <= end]
+        return Trajectory(self.object_id, selected)
+
+    def resample(self, step: int) -> "Trajectory":
+        """Resample the trajectory on a regular grid of ``step`` time units.
+
+        Interpolated positions are emitted for every multiple of ``step`` that
+        falls inside the observed range. Useful when comparing against
+        baselines that require uniformly spaced measurements.
+        """
+        if step <= 0:
+            raise InvalidTrajectoryError(f"resample step must be positive, got {step}")
+        if not self._timepoints:
+            return Trajectory(self.object_id)
+        first = ((self.start_time + step - 1) // step) * step
+        resampled = Trajectory(self.object_id)
+        timestamp = first
+        while timestamp <= self.end_time:
+            resampled.append(TimePoint(self.location_at(timestamp), timestamp))
+            timestamp += step
+        return resampled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trajectory(object_id={self.object_id}, n={len(self)})"

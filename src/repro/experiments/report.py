@@ -1,0 +1,102 @@
+"""CSV reporting for experiment sweeps and ablations.
+
+The figure runners return in-memory report objects; this module serialises
+them to CSV so results can be archived, diffed across runs and plotted with
+any external tool.  Every writer returns the path it wrote, and the combined
+:func:`write_experiment_bundle` produces one directory with a file per
+experiment — the machine-readable counterpart of ``benchmarks/results``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.experiments.ablations import (
+    CommunicationAblationRow,
+    GridResolutionAblationRow,
+    UncertaintyAblationRow,
+)
+from repro.experiments.sweeps import SweepRow
+
+__all__ = [
+    "sweep_rows_to_csv",
+    "write_sweep_csv",
+    "ablation_rows_to_csv",
+    "write_experiment_bundle",
+]
+
+PathLike = Union[str, Path]
+
+
+def sweep_rows_to_csv(rows: Sequence[SweepRow]) -> str:
+    """Serialise Figure 7/8 sweep rows to CSV text."""
+    buffer = io.StringIO()
+    fieldnames = [
+        "parameter_name",
+        "parameter_value",
+        "scaled_num_objects",
+        "index_size",
+        "dp_index_size",
+        "top_k_score",
+        "dp_top_k_score",
+        "processing_seconds",
+        "uplink_messages",
+        "naive_messages",
+    ]
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row.as_dict())
+    return buffer.getvalue()
+
+
+def write_sweep_csv(rows: Sequence[SweepRow], destination: PathLike) -> Path:
+    """Write sweep rows to ``destination`` and return the written path."""
+    destination = Path(destination)
+    destination.write_text(sweep_rows_to_csv(rows))
+    return destination
+
+
+def ablation_rows_to_csv(
+    rows: Sequence[Union[CommunicationAblationRow, UncertaintyAblationRow, GridResolutionAblationRow]],
+) -> str:
+    """Serialise any ablation's rows to CSV text (columns follow the dataclass fields)."""
+    buffer = io.StringIO()
+    if not rows:
+        return ""
+    fieldnames = list(vars(rows[0]).keys())
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(vars(row))
+    return buffer.getvalue()
+
+
+def write_experiment_bundle(
+    destination_dir: PathLike,
+    figure7_rows: Sequence[SweepRow] = (),
+    figure8_rows: Sequence[SweepRow] = (),
+    ablations: Dict[str, Sequence[object]] = None,
+) -> List[Path]:
+    """Write one CSV per experiment into ``destination_dir``.
+
+    Returns the list of files written.  Empty inputs are skipped, so callers
+    can pass whatever subset of experiments they actually ran.
+    """
+    destination_dir = Path(destination_dir)
+    destination_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    if figure7_rows:
+        written.append(write_sweep_csv(figure7_rows, destination_dir / "figure7.csv"))
+    if figure8_rows:
+        written.append(write_sweep_csv(figure8_rows, destination_dir / "figure8.csv"))
+    for name, rows in (ablations or {}).items():
+        if not rows:
+            continue
+        path = destination_dir / f"ablation_{name}.csv"
+        path.write_text(ablation_rows_to_csv(list(rows)))
+        written.append(path)
+    return written

@@ -1,0 +1,107 @@
+"""Parameter sweeps underlying Figures 7 and 8.
+
+Each sweep runs the full simulation (SinglePath plus the DP baseline on the
+same measurement stream) for a list of parameter values and collects one
+:class:`SweepRow` per value with exactly the series the paper plots: motion
+path index size, top-k score and coordinator processing time, for both
+methods where applicable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import (
+    PAPER_OBJECT_COUNTS,
+    PAPER_TOLERANCES,
+    ExperimentScale,
+    scaled_simulation_config,
+)
+from repro.simulation.engine import HotPathSimulation, SimulationResult
+
+__all__ = ["SweepRow", "run_object_count_sweep", "run_tolerance_sweep"]
+
+
+@dataclass
+class SweepRow:
+    """One row of a parameter sweep (one simulated configuration)."""
+
+    parameter_name: str
+    parameter_value: float
+    scaled_num_objects: int
+    index_size: float
+    dp_index_size: float
+    top_k_score: float
+    dp_top_k_score: float
+    processing_seconds: float
+    uplink_messages: int
+    naive_messages: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "parameter_name": self.parameter_name,
+            "parameter_value": self.parameter_value,
+            "scaled_num_objects": self.scaled_num_objects,
+            "index_size": self.index_size,
+            "dp_index_size": self.dp_index_size,
+            "top_k_score": self.top_k_score,
+            "dp_top_k_score": self.dp_top_k_score,
+            "processing_seconds": self.processing_seconds,
+            "uplink_messages": self.uplink_messages,
+            "naive_messages": self.naive_messages,
+        }
+
+
+def _row_from_result(
+    parameter_name: str, parameter_value: float, result: SimulationResult
+) -> SweepRow:
+    metrics = result.metrics
+    return SweepRow(
+        parameter_name=parameter_name,
+        parameter_value=parameter_value,
+        scaled_num_objects=result.config.num_objects,
+        index_size=metrics.mean_index_size,
+        dp_index_size=metrics.mean_dp_index_size,
+        top_k_score=metrics.mean_top_k_score,
+        dp_top_k_score=metrics.mean_dp_top_k_score,
+        processing_seconds=metrics.mean_processing_seconds,
+        uplink_messages=metrics.uplink.messages,
+        naive_messages=metrics.naive_uplink.messages,
+    )
+
+
+def run_object_count_sweep(
+    object_counts: Optional[Sequence[int]] = None,
+    scale: Optional[ExperimentScale] = None,
+    tolerance: float = 10.0,
+    seed: int = 42,
+) -> List[SweepRow]:
+    """Vary the number of objects at fixed tolerance (the Figure 7 sweep)."""
+    counts = list(object_counts) if object_counts is not None else PAPER_OBJECT_COUNTS
+    rows: List[SweepRow] = []
+    for count in counts:
+        config = scaled_simulation_config(
+            scale=scale, num_objects=count, tolerance=tolerance, seed=seed
+        )
+        result = HotPathSimulation(config).run()
+        rows.append(_row_from_result("num_objects", count, result))
+    return rows
+
+
+def run_tolerance_sweep(
+    tolerances: Optional[Sequence[float]] = None,
+    scale: Optional[ExperimentScale] = None,
+    num_objects: int = 20000,
+    seed: int = 42,
+) -> List[SweepRow]:
+    """Vary the tolerance at a fixed population (the Figure 8 sweep)."""
+    values = list(tolerances) if tolerances is not None else PAPER_TOLERANCES
+    rows: List[SweepRow] = []
+    for tolerance in values:
+        config = scaled_simulation_config(
+            scale=scale, num_objects=num_objects, tolerance=tolerance, seed=seed
+        )
+        result = HotPathSimulation(config).run()
+        rows.append(_row_from_result("tolerance", tolerance, result))
+    return rows

@@ -1,0 +1,17 @@
+"""Extensions beyond the paper's core contribution.
+
+The paper's conclusions (Section 7) sketch one direction of future work:
+letting the coordinator feed information about nearby hot motion paths back to
+the clients so that RayTrace can make better *splitting decisions* — i.e.
+choose SSA endpoints that existing hot paths already terminate at.  The
+:mod:`repro.extensions.feedback` module implements that idea on top of the
+unmodified core components.
+"""
+
+from repro.extensions.feedback import (
+    HotVertexHint,
+    FeedbackCoordinator,
+    FeedbackRayTraceFilter,
+)
+
+__all__ = ["HotVertexHint", "FeedbackCoordinator", "FeedbackRayTraceFilter"]

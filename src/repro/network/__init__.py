@@ -1,0 +1,13 @@
+"""Synthetic road network substrate used by the workload generator."""
+
+from repro.network.road_network import RoadNetwork, RoadNode, RoadLink, RoadClass
+from repro.network.generator import SyntheticRoadNetworkGenerator, NetworkConfig
+
+__all__ = [
+    "RoadNetwork",
+    "RoadNode",
+    "RoadLink",
+    "RoadClass",
+    "SyntheticRoadNetworkGenerator",
+    "NetworkConfig",
+]

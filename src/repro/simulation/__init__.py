@@ -1,0 +1,16 @@
+"""Discrete-time simulation engine wiring clients, coordinator and baselines."""
+
+from repro.simulation.engine import HotPathSimulation, SimulationConfig, SimulationResult
+from repro.simulation.metrics import EpochMetrics, MetricsCollector, CommunicationStats
+from repro.simulation.replay import TrajectoryReplayDriver, ReplayStatistics
+
+__all__ = [
+    "HotPathSimulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "EpochMetrics",
+    "MetricsCollector",
+    "CommunicationStats",
+    "TrajectoryReplayDriver",
+    "ReplayStatistics",
+]

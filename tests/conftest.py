@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.geometry import Point, Rectangle
+from repro.network.generator import NetworkConfig, SyntheticRoadNetworkGenerator
+from repro.network.road_network import RoadClass, RoadNetwork
+from repro.simulation.engine import SimulationConfig
+
+
+@pytest.fixture(scope="session")
+def small_network() -> RoadNetwork:
+    """A small synthetic network shared by tests that just need *a* network."""
+    config = NetworkConfig(area_size=2000.0, grid_nodes_per_axis=6, seed=3)
+    return SyntheticRoadNetworkGenerator(config).generate()
+
+
+@pytest.fixture()
+def tiny_manual_network() -> RoadNetwork:
+    """A hand-built 4-node square network with one motorway edge."""
+    network = RoadNetwork()
+    network.add_node(0, Point(0.0, 0.0))
+    network.add_node(1, Point(100.0, 0.0))
+    network.add_node(2, Point(100.0, 100.0))
+    network.add_node(3, Point(0.0, 100.0))
+    network.add_link(0, 1, RoadClass.MOTORWAY)
+    network.add_link(1, 2, RoadClass.PRIMARY)
+    network.add_link(2, 3, RoadClass.SECONDARY)
+    network.add_link(3, 0, RoadClass.SECONDARY)
+    return network
+
+
+@pytest.fixture()
+def unit_bounds() -> Rectangle:
+    """A simple 1000x1000 area used by coordinator/index tests."""
+    return Rectangle(Point(0.0, 0.0), Point(1000.0, 1000.0))
+
+
+@pytest.fixture()
+def fast_simulation_config(small_network) -> SimulationConfig:
+    """A configuration small enough for integration tests to run in < 1 second."""
+    return SimulationConfig(
+        num_objects=60,
+        tolerance=10.0,
+        window=50,
+        epoch_length=10,
+        duration=80,
+        network_config=NetworkConfig(area_size=2000.0, grid_nodes_per_axis=6, seed=3),
+    )

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.objects == 500
+        assert args.tolerance == 10.0
+
+    def test_run_overrides(self):
+        args = build_parser().parse_args(
+            ["run", "--objects", "50", "--tolerance", "5", "--duration", "60"]
+        )
+        assert args.objects == 50
+        assert args.tolerance == 5.0
+        assert args.duration == 60
+
+    def test_figure_subcommands_exist(self):
+        for command in ("figure7", "figure8", "figure9", "figure10", "ablations"):
+            args = build_parser().parse_args([command])
+            assert args.command == command
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["not-a-command"])
+
+
+class TestRunCommand:
+    def test_run_prints_summary_and_paths(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--objects", "60",
+                "--duration", "60",
+                "--network-nodes", "6",
+                "--area", "2000",
+                "--seed", "3",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "index size" in captured
+        assert "message reduction vs naive" in captured
+        assert "hottest motion paths" in captured
+
+
+class TestFigureCommands:
+    def test_figure7_small_scale(self, capsys):
+        exit_code = main(["figure7", "--scale", "0.002", "--seed", "3"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "idx SP" in captured
+
+    def test_figure8_writes_csv(self, capsys, tmp_path):
+        exit_code = main(["figure8", "--scale", "0.002", "--seed", "3", "--csv", str(tmp_path)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert (tmp_path / "figure8.csv").exists()
+        assert "csv written" in captured
+
+    def test_figure9_renders_maps(self, capsys):
+        exit_code = main(["figure9", "--scale", "0.002", "--seed", "3", "--width", "30", "--height", "12"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Discovered motion paths" in captured
+        assert "coverage" in captured
+
+    def test_figure10_renders_map(self, capsys):
+        exit_code = main(["figure10", "--scale", "0.002", "--seed", "3", "--width", "30", "--height", "12"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "top paths rendered" in captured
+
+    def test_ablations_with_csv(self, capsys, tmp_path):
+        exit_code = main(["ablations", "--scale", "0.002", "--seed", "3", "--csv", str(tmp_path)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "communication (RayTrace vs naive):" in captured
+        assert (tmp_path / "ablation_communication.csv").exists()
+        assert (tmp_path / "ablation_uncertainty.csv").exists()
+        assert (tmp_path / "ablation_grid_resolution.csv").exists()

@@ -1,0 +1,135 @@
+"""Unit tests for :mod:`repro.coordinator.coordinator`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.geometry import Point, Rectangle
+from repro.client.state import ObjectState
+from repro.coordinator.coordinator import Coordinator, CoordinatorConfig
+
+
+BOUNDS = Rectangle(Point(0.0, 0.0), Point(1000.0, 1000.0))
+
+
+def make_coordinator(window: int = 50) -> Coordinator:
+    return Coordinator(CoordinatorConfig(bounds=BOUNDS, window=window, cells_per_axis=16))
+
+
+def state(object_id: int, start: Point, low: Point, high: Point, t_start: int, t_end: int) -> ObjectState:
+    return ObjectState(object_id, start, t_start, low, high, t_end)
+
+
+class TestConfig:
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            CoordinatorConfig(bounds=BOUNDS, window=0)
+
+
+class TestEpochProcessing:
+    def test_empty_epoch(self):
+        coordinator = make_coordinator()
+        outcome = coordinator.run_epoch(10)
+        assert outcome.responses == []
+        assert outcome.states_processed == 0
+        assert coordinator.index_size() == 0
+        assert coordinator.epochs_processed == 1
+
+    def test_states_are_consumed_by_epoch(self):
+        coordinator = make_coordinator()
+        coordinator.submit_state(
+            state(1, Point(100.0, 100.0), Point(150.0, 150.0), Point(170.0, 170.0), 0, 8)
+        )
+        assert coordinator.pending_states == 1
+        outcome = coordinator.run_epoch(10)
+        assert coordinator.pending_states == 0
+        assert outcome.states_processed == 1
+        assert len(outcome.responses) == 1
+        assert outcome.responses[0].object_id == 1
+        assert coordinator.index_size() == 1
+
+    def test_processing_time_recorded(self):
+        coordinator = make_coordinator()
+        coordinator.submit_state(
+            state(1, Point(100.0, 100.0), Point(150.0, 150.0), Point(170.0, 170.0), 0, 8)
+        )
+        outcome = coordinator.run_epoch(10)
+        assert outcome.processing_seconds >= 0.0
+        assert coordinator.total_processing_seconds >= outcome.processing_seconds
+        assert coordinator.mean_processing_seconds_per_epoch > 0.0
+
+    def test_two_objects_same_start_share_path(self):
+        coordinator = make_coordinator()
+        coordinator.submit_state(
+            state(1, Point(100.0, 100.0), Point(150.0, 150.0), Point(175.0, 175.0), 0, 8)
+        )
+        coordinator.submit_state(
+            state(2, Point(100.0, 100.0), Point(160.0, 160.0), Point(185.0, 185.0), 0, 9)
+        )
+        coordinator.run_epoch(10)
+        assert coordinator.index_size() == 1
+        (record, hotness), = coordinator.hot_paths()
+        assert hotness == 2
+
+
+class TestWindowExpiry:
+    def test_paths_expire_and_are_removed_from_index(self):
+        coordinator = make_coordinator(window=20)
+        coordinator.submit_state(
+            state(1, Point(100.0, 100.0), Point(150.0, 150.0), Point(170.0, 170.0), 0, 5)
+        )
+        coordinator.run_epoch(10)
+        assert coordinator.index_size() == 1
+
+        # The crossing ended at t=5, so it expires at t=25.
+        outcome = coordinator.run_epoch(24)
+        assert outcome.paths_expired == 0
+        assert coordinator.index_size() == 1
+
+        outcome = coordinator.run_epoch(30)
+        assert outcome.paths_expired == 1
+        assert coordinator.index_size() == 0
+        assert coordinator.hot_paths() == []
+
+    def test_repeated_crossings_keep_path_alive(self):
+        coordinator = make_coordinator(window=20)
+        for t_end in (5, 15, 25):
+            coordinator.submit_state(
+                state(1, Point(100.0, 100.0), Point(150.0, 150.0), Point(170.0, 170.0), t_end - 5, t_end)
+            )
+            coordinator.run_epoch(t_end + 1)
+        assert coordinator.index_size() == 1
+        (_, hotness), = coordinator.hot_paths()
+        assert hotness >= 2
+
+
+class TestTopK:
+    def _populate(self, coordinator: Coordinator) -> None:
+        # Three objects share a start and a long FSA; one object goes elsewhere.
+        for object_id in (1, 2, 3):
+            coordinator.submit_state(
+                state(object_id, Point(100.0, 100.0), Point(300.0, 300.0), Point(320.0, 320.0), 0, 9)
+            )
+        coordinator.submit_state(
+            state(4, Point(700.0, 700.0), Point(720.0, 720.0), Point(740.0, 740.0), 0, 9)
+        )
+        coordinator.run_epoch(10)
+
+    def test_top_k_orders_by_hotness(self):
+        coordinator = make_coordinator()
+        self._populate(coordinator)
+        top = coordinator.top_k(2)
+        assert len(top) == 2
+        assert top[0].hotness >= top[1].hotness
+        assert top[0].hotness == 3
+
+    def test_top_k_score_positive(self):
+        coordinator = make_coordinator()
+        self._populate(coordinator)
+        assert coordinator.top_k_score(2) > 0.0
+
+    def test_top_k_more_than_paths(self):
+        coordinator = make_coordinator()
+        self._populate(coordinator)
+        assert len(coordinator.top_k(100)) == coordinator.index_size()

@@ -1,0 +1,221 @@
+"""Unit tests for :mod:`repro.core.geometry`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import InvalidGeometryError
+from repro.core.geometry import (
+    Point,
+    Rectangle,
+    euclidean_distance,
+    interpolate_point,
+    interpolate_scalar,
+    lp_distance,
+    manhattan_distance,
+    max_distance,
+    segment_length,
+)
+
+
+class TestPoint:
+    def test_point_is_iterable(self):
+        assert tuple(Point(1.0, 2.0)) == (1.0, 2.0)
+
+    def test_point_as_tuple(self):
+        assert Point(3.5, -1.0).as_tuple() == (3.5, -1.0)
+
+    def test_point_rejects_nan(self):
+        with pytest.raises(InvalidGeometryError):
+            Point(float("nan"), 0.0)
+
+    def test_point_rejects_infinity(self):
+        with pytest.raises(InvalidGeometryError):
+            Point(0.0, float("inf"))
+
+    def test_translate(self):
+        assert Point(1.0, 1.0).translate(2.0, -1.0) == Point(3.0, 0.0)
+
+    def test_max_distance_to(self):
+        assert Point(0.0, 0.0).max_distance_to(Point(3.0, 4.0)) == 4.0
+
+    def test_euclidean_distance_to(self):
+        assert Point(0.0, 0.0).euclidean_distance_to(Point(3.0, 4.0)) == 5.0
+
+    def test_is_close_to_within_tolerance(self):
+        assert Point(0.0, 0.0).is_close_to(Point(1.0, -1.0), 1.0)
+
+    def test_is_close_to_outside_tolerance(self):
+        assert not Point(0.0, 0.0).is_close_to(Point(1.5, 0.0), 1.0)
+
+    def test_is_close_to_boundary_inclusive(self):
+        assert Point(0.0, 0.0).is_close_to(Point(1.0, 0.0), 1.0)
+
+    def test_midpoint(self):
+        assert Point(0.0, 0.0).midpoint(Point(2.0, 4.0)) == Point(1.0, 2.0)
+
+    def test_points_are_hashable(self):
+        assert len({Point(1.0, 2.0), Point(1.0, 2.0), Point(2.0, 1.0)}) == 2
+
+
+class TestDistances:
+    def test_max_distance_symmetry(self):
+        a, b = Point(1.0, 5.0), Point(-2.0, 3.0)
+        assert max_distance(a, b) == max_distance(b, a) == 3.0
+
+    def test_euclidean_distance(self):
+        assert euclidean_distance(Point(0.0, 0.0), Point(3.0, 4.0)) == 5.0
+
+    def test_manhattan_distance(self):
+        assert manhattan_distance(Point(0.0, 0.0), Point(3.0, 4.0)) == 7.0
+
+    def test_lp_distance_p2_matches_euclidean(self):
+        a, b = Point(1.0, 2.0), Point(4.0, 6.0)
+        assert lp_distance(a, b, 2.0) == pytest.approx(euclidean_distance(a, b))
+
+    def test_lp_distance_p1_matches_manhattan(self):
+        a, b = Point(1.0, 2.0), Point(4.0, 6.0)
+        assert lp_distance(a, b, 1.0) == pytest.approx(manhattan_distance(a, b))
+
+    def test_lp_distance_infinity_matches_max(self):
+        a, b = Point(1.0, 2.0), Point(4.0, 6.0)
+        assert lp_distance(a, b, math.inf) == max_distance(a, b)
+
+    def test_lp_distance_rejects_p_below_one(self):
+        with pytest.raises(InvalidGeometryError):
+            lp_distance(Point(0.0, 0.0), Point(1.0, 1.0), 0.5)
+
+    def test_segment_length_is_euclidean(self):
+        assert segment_length(Point(0.0, 0.0), Point(0.0, 7.0)) == 7.0
+
+
+class TestInterpolation:
+    def test_interpolate_scalar_endpoints(self):
+        assert interpolate_scalar(2.0, 10.0, 0.0) == 2.0
+        assert interpolate_scalar(2.0, 10.0, 1.0) == 10.0
+
+    def test_interpolate_scalar_midpoint(self):
+        assert interpolate_scalar(2.0, 10.0, 0.5) == 6.0
+
+    def test_interpolate_point_midpoint(self):
+        mid = interpolate_point(Point(0.0, 0.0), Point(10.0, 20.0), 0.5)
+        assert mid == Point(5.0, 10.0)
+
+    def test_interpolate_point_endpoints(self):
+        a, b = Point(-1.0, 2.0), Point(3.0, -4.0)
+        assert interpolate_point(a, b, 0.0) == a
+        assert interpolate_point(a, b, 1.0) == b
+
+
+class TestRectangle:
+    def test_from_bounds(self):
+        rect = Rectangle.from_bounds(0.0, 1.0, 2.0, 3.0)
+        assert rect.low == Point(0.0, 1.0)
+        assert rect.high == Point(2.0, 3.0)
+
+    def test_invalid_corners_rejected(self):
+        with pytest.raises(InvalidGeometryError):
+            Rectangle(Point(1.0, 0.0), Point(0.0, 1.0))
+
+    def test_from_center_is_tolerance_square(self):
+        rect = Rectangle.from_center(Point(5.0, 5.0), 2.0)
+        assert rect.low == Point(3.0, 3.0)
+        assert rect.high == Point(7.0, 7.0)
+        assert rect.width == rect.height == 4.0
+
+    def test_from_center_negative_half_extent_rejected(self):
+        with pytest.raises(InvalidGeometryError):
+            Rectangle.from_center(Point(0.0, 0.0), -1.0)
+
+    def test_degenerate_rectangle(self):
+        rect = Rectangle.degenerate(Point(2.0, 3.0))
+        assert rect.is_degenerate()
+        assert rect.area == 0.0
+        assert rect.contains_point(Point(2.0, 3.0))
+
+    def test_bounding_with_padding(self):
+        rect = Rectangle.bounding(Point(0.0, 5.0), Point(5.0, 0.0), padding=1.0)
+        assert rect.low == Point(-1.0, -1.0)
+        assert rect.high == Point(6.0, 6.0)
+
+    def test_width_height_area(self):
+        rect = Rectangle.from_bounds(0.0, 0.0, 4.0, 2.0)
+        assert rect.width == 4.0
+        assert rect.height == 2.0
+        assert rect.area == 8.0
+
+    def test_center(self):
+        rect = Rectangle.from_bounds(0.0, 0.0, 4.0, 2.0)
+        assert rect.center == Point(2.0, 1.0)
+
+    def test_contains_point_boundary(self):
+        rect = Rectangle.from_bounds(0.0, 0.0, 1.0, 1.0)
+        assert rect.contains_point(Point(1.0, 1.0))
+        assert not rect.contains_point(Point(1.0001, 1.0))
+
+    def test_contains_rectangle(self):
+        outer = Rectangle.from_bounds(0.0, 0.0, 10.0, 10.0)
+        inner = Rectangle.from_bounds(2.0, 2.0, 5.0, 5.0)
+        assert outer.contains_rectangle(inner)
+        assert not inner.contains_rectangle(outer)
+
+    def test_intersects_touching(self):
+        a = Rectangle.from_bounds(0.0, 0.0, 1.0, 1.0)
+        b = Rectangle.from_bounds(1.0, 1.0, 2.0, 2.0)
+        assert a.intersects(b)
+
+    def test_intersects_disjoint(self):
+        a = Rectangle.from_bounds(0.0, 0.0, 1.0, 1.0)
+        b = Rectangle.from_bounds(1.5, 0.0, 2.0, 1.0)
+        assert not a.intersects(b)
+
+    def test_intersection_overlapping(self):
+        a = Rectangle.from_bounds(0.0, 0.0, 2.0, 2.0)
+        b = Rectangle.from_bounds(1.0, 1.0, 3.0, 3.0)
+        inter = a.intersection(b)
+        assert inter == Rectangle.from_bounds(1.0, 1.0, 2.0, 2.0)
+
+    def test_intersection_disjoint_returns_none(self):
+        a = Rectangle.from_bounds(0.0, 0.0, 1.0, 1.0)
+        b = Rectangle.from_bounds(5.0, 5.0, 6.0, 6.0)
+        assert a.intersection(b) is None
+
+    def test_intersection_degenerate_touching(self):
+        a = Rectangle.from_bounds(0.0, 0.0, 1.0, 1.0)
+        b = Rectangle.from_bounds(1.0, 0.0, 2.0, 1.0)
+        inter = a.intersection(b)
+        assert inter is not None
+        assert inter.is_degenerate()
+
+    def test_union_bounds(self):
+        a = Rectangle.from_bounds(0.0, 0.0, 1.0, 1.0)
+        b = Rectangle.from_bounds(5.0, 5.0, 6.0, 6.0)
+        assert a.union_bounds(b) == Rectangle.from_bounds(0.0, 0.0, 6.0, 6.0)
+
+    def test_expand_positive(self):
+        rect = Rectangle.from_bounds(0.0, 0.0, 2.0, 2.0).expand(1.0)
+        assert rect == Rectangle.from_bounds(-1.0, -1.0, 3.0, 3.0)
+
+    def test_expand_negative_too_far_rejected(self):
+        with pytest.raises(InvalidGeometryError):
+            Rectangle.from_bounds(0.0, 0.0, 2.0, 2.0).expand(-2.0)
+
+    def test_clamp_point_inside_unchanged(self):
+        rect = Rectangle.from_bounds(0.0, 0.0, 2.0, 2.0)
+        assert rect.clamp_point(Point(1.0, 1.0)) == Point(1.0, 1.0)
+
+    def test_clamp_point_outside(self):
+        rect = Rectangle.from_bounds(0.0, 0.0, 2.0, 2.0)
+        assert rect.clamp_point(Point(5.0, -3.0)) == Point(2.0, 0.0)
+
+    def test_corners_order(self):
+        rect = Rectangle.from_bounds(0.0, 0.0, 2.0, 1.0)
+        corners = rect.corners()
+        assert corners[0] == Point(0.0, 0.0)
+        assert corners[2] == Point(2.0, 1.0)
+
+    def test_as_bounds_roundtrip(self):
+        rect = Rectangle.from_bounds(0.5, 1.5, 2.5, 3.5)
+        assert Rectangle.from_bounds(*rect.as_bounds()) == rect

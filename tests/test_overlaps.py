@@ -1,0 +1,115 @@
+"""Unit tests for :mod:`repro.coordinator.overlaps`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.geometry import Point, Rectangle
+from repro.coordinator.overlaps import FsaOverlapStructure, OverlapRegion
+
+
+def rect(x0, y0, x1, y1) -> Rectangle:
+    return Rectangle(Point(x0, y0), Point(x1, y1))
+
+
+class TestOverlapRegion:
+    def test_count(self):
+        region = OverlapRegion(rect(0, 0, 1, 1), frozenset({1, 2, 3}))
+        assert region.count == 3
+
+
+class TestBuild:
+    def test_single_fsa(self):
+        structure = FsaOverlapStructure.build({1: rect(0, 0, 10, 10)})
+        regions = list(structure.regions())
+        assert len(regions) == 1
+        assert regions[0].members == frozenset({1})
+
+    def test_disjoint_fsas_produce_no_overlaps(self):
+        structure = FsaOverlapStructure.build(
+            {1: rect(0, 0, 10, 10), 2: rect(20, 20, 30, 30)}
+        )
+        assert len(structure) == 2
+
+    def test_two_overlapping_fsas(self):
+        structure = FsaOverlapStructure.build(
+            {1: rect(0, 0, 10, 10), 2: rect(5, 5, 15, 15)}
+        )
+        members = {region.members for region in structure.regions()}
+        assert frozenset({1}) in members
+        assert frozenset({2}) in members
+        assert frozenset({1, 2}) in members
+
+    def test_three_way_overlap_from_example_2(self):
+        """The R1/R2/R3 configuration of the paper's Example 2."""
+        structure = FsaOverlapStructure.build(
+            {
+                1: rect(0, 0, 10, 10),
+                2: rect(6, 0, 16, 10),
+                3: rect(3, 5, 13, 15),
+            }
+        )
+        counts = {region.members: region.count for region in structure.regions()}
+        assert counts[frozenset({1, 2, 3})] == 3
+        assert counts[frozenset({1, 2})] == 2
+        assert counts[frozenset({2, 3})] == 2
+        assert counts[frozenset({1, 3})] == 2
+
+
+class TestQueries:
+    def _three_way(self) -> FsaOverlapStructure:
+        return FsaOverlapStructure.build(
+            {
+                1: rect(0, 0, 10, 10),
+                2: rect(6, 0, 16, 10),
+                3: rect(3, 5, 13, 15),
+            }
+        )
+
+    def test_smallest_region_containing_prefers_deepest_overlap(self):
+        structure = self._three_way()
+        # A point in the triple intersection.
+        region = structure.smallest_region_containing(Point(7.0, 7.0))
+        assert region is not None
+        assert region.members == frozenset({1, 2, 3})
+
+    def test_smallest_region_containing_single_member(self):
+        structure = self._three_way()
+        region = structure.smallest_region_containing(Point(1.0, 1.0))
+        assert region is not None
+        assert region.members == frozenset({1})
+
+    def test_smallest_region_containing_outside_everything(self):
+        structure = self._three_way()
+        assert structure.smallest_region_containing(Point(100.0, 100.0)) is None
+
+    def test_hottest_region_intersecting(self):
+        structure = self._three_way()
+        region = structure.hottest_region_intersecting(rect(0, 0, 10, 10))
+        assert region is not None
+        assert region.count == 3
+
+    def test_hottest_region_intersecting_disjoint(self):
+        structure = self._three_way()
+        assert structure.hottest_region_intersecting(rect(100, 100, 110, 110)) is None
+
+    def test_candidate_vertex_is_shared_between_objects(self):
+        """Two objects touching the same overlap fabricate the exact same vertex."""
+        structure = self._three_way()
+        vertex_1 = structure.candidate_vertex_for(rect(0, 0, 10, 10))
+        vertex_2 = structure.candidate_vertex_for(rect(6, 0, 16, 10))
+        assert vertex_1 is not None and vertex_2 is not None
+        assert vertex_1[0] == vertex_2[0]
+        assert vertex_1[1] == vertex_2[1] == 3
+
+    def test_candidate_vertex_for_disjoint_region(self):
+        structure = self._three_way()
+        assert structure.candidate_vertex_for(rect(200, 200, 210, 210)) is None
+
+    def test_region_cap_limits_growth(self):
+        structure = FsaOverlapStructure(max_regions=5)
+        for i in range(20):
+            structure.add(i, rect(i * 0.1, 0, i * 0.1 + 10, 10))
+        # All singletons are always stored; derived overlaps are capped.
+        assert len(structure) >= 20
+        assert len(structure) < 20 + 200

@@ -1,0 +1,234 @@
+"""Unit tests for :mod:`repro.client.raytrace` and :mod:`repro.client.state`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError, CoordinatorError
+from repro.core.geometry import Point, Rectangle
+from repro.core.trajectory import TimePoint, UncertainTimePoint
+from repro.client.raytrace import RayTraceConfig, RayTraceFilter
+from repro.client.state import CoordinatorResponse, ObjectState
+
+
+def make_filter(epsilon: float = 1.0, start: Point = Point(0.0, 0.0), t0: int = 0) -> RayTraceFilter:
+    return RayTraceFilter(7, TimePoint(start, t0), RayTraceConfig(epsilon))
+
+
+class TestRayTraceConfig:
+    def test_invalid_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            RayTraceConfig(epsilon=0.0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ConfigurationError):
+            RayTraceConfig(epsilon=1.0, delta=1.5)
+
+
+class TestObjectState:
+    def test_fsa_and_duration(self):
+        state = ObjectState(1, Point(0.0, 0.0), 0, Point(1.0, 1.0), Point(3.0, 3.0), 10)
+        assert state.fsa == Rectangle(Point(1.0, 1.0), Point(3.0, 3.0))
+        assert state.duration == 10
+
+    def test_message_size_is_fixed(self):
+        state = ObjectState(1, Point(0.0, 0.0), 0, Point(1.0, 1.0), Point(3.0, 3.0), 10)
+        assert state.message_size_bytes() == 36
+
+    def test_as_tuple_roundtrip(self):
+        state = ObjectState(2, Point(1.0, 2.0), 3, Point(4.0, 5.0), Point(6.0, 7.0), 8)
+        assert state.as_tuple() == (2, 1.0, 2.0, 3, 4.0, 5.0, 6.0, 7.0, 8)
+
+    def test_response_message_size(self):
+        response = CoordinatorResponse(1, Point(0.0, 0.0), 5)
+        assert response.message_size_bytes() == 16
+
+
+class TestInitialState:
+    def test_initial_ssa_is_degenerate(self):
+        filt = make_filter()
+        assert filt.ssa_start == TimePoint(Point(0.0, 0.0), 0)
+        assert filt.fsa.is_degenerate()
+        assert not filt.waiting
+
+    def test_first_measurement_sets_fsa_to_tolerance_square(self):
+        filt = make_filter(epsilon=2.0)
+        assert filt.observe(TimePoint(Point(1.0, 0.0), 1)) is None
+        assert filt.fsa == Rectangle(Point(-1.0, -2.0), Point(3.0, 2.0))
+        assert filt.fsa_timestamp == 1
+
+
+class TestSsaGrowth:
+    def test_straight_motion_never_reports(self):
+        """An object moving in a straight line at constant speed stays inside the SSA."""
+        filt = make_filter(epsilon=1.0)
+        for t in range(1, 50):
+            emitted = filt.observe(TimePoint(Point(float(t), 0.0), t))
+            assert emitted is None
+        assert filt.statistics.states_sent == 0
+        assert filt.statistics.suppression_ratio == 1.0
+
+    def test_fsa_shrinks_monotonically_in_relative_terms(self):
+        """Each intersection can only keep or reduce the projected extent."""
+        filt = make_filter(epsilon=1.0)
+        filt.observe(TimePoint(Point(1.0, 0.0), 1))
+        area_after_first = filt.fsa.area
+        filt.observe(TimePoint(Point(2.0, 0.3), 2))
+        # The FSA at t=2 is the intersection of the projected SSA (which grows
+        # to roughly double the size) with the new tolerance square; it can
+        # never exceed the tolerance square's area.
+        assert filt.fsa.area <= 4.0 + 1e-9
+        assert area_after_first == pytest.approx(4.0)
+
+    def test_sharp_turn_triggers_state(self):
+        filt = make_filter(epsilon=1.0)
+        filt.observe(TimePoint(Point(1.0, 0.0), 1))
+        filt.observe(TimePoint(Point(2.0, 0.0), 2))
+        emitted = filt.observe(TimePoint(Point(2.0, 10.0), 3))
+        assert emitted is not None
+        assert filt.waiting
+        assert emitted.object_id == 7
+        assert emitted.t_start == 0
+        assert emitted.t_end == 2
+
+    def test_state_reports_last_valid_fsa(self):
+        filt = make_filter(epsilon=1.0)
+        filt.observe(TimePoint(Point(1.0, 0.0), 1))
+        fsa_before = filt.fsa
+        emitted = filt.observe(TimePoint(Point(50.0, 50.0), 2))
+        assert emitted is not None
+        assert emitted.fsa == fsa_before
+
+    def test_statistics_track_messages(self):
+        filt = make_filter(epsilon=1.0)
+        filt.observe(TimePoint(Point(1.0, 0.0), 1))
+        filt.observe(TimePoint(Point(100.0, 0.0), 2))
+        stats = filt.statistics
+        assert stats.measurements_processed == 2
+        assert stats.states_sent == 1
+        assert stats.suppression_ratio == pytest.approx(0.5)
+
+
+class TestWaitingMode:
+    def _filter_in_waiting(self) -> RayTraceFilter:
+        filt = make_filter(epsilon=1.0)
+        filt.observe(TimePoint(Point(1.0, 0.0), 1))
+        emitted = filt.observe(TimePoint(Point(100.0, 0.0), 2))
+        assert emitted is not None
+        return filt
+
+    def test_measurements_buffered_while_waiting(self):
+        filt = self._filter_in_waiting()
+        assert filt.observe(TimePoint(Point(101.0, 0.0), 3)) is None
+        assert filt.observe(TimePoint(Point(102.0, 0.0), 4)) is None
+        # Buffer holds the violating measurement plus the two new ones.
+        assert filt.buffered_measurements == 3
+
+    def test_response_resets_ssa_and_replays_buffer(self):
+        filt = self._filter_in_waiting()
+        filt.observe(TimePoint(Point(101.0, 0.0), 3))
+        response = CoordinatorResponse(7, Point(99.0, 0.0), 2)
+        emitted = filt.receive_response(response)
+        assert emitted is None
+        assert not filt.waiting
+        assert filt.ssa_start.timestamp >= 2
+        assert filt.buffered_measurements == 0
+
+    def test_response_replay_can_trigger_new_state(self):
+        filt = self._filter_in_waiting()
+        # While waiting, the object jumps far from the coordinator-assigned endpoint.
+        filt.observe(TimePoint(Point(100.0, 0.0), 3))
+        filt.observe(TimePoint(Point(-100.0, 0.0), 4))
+        response = CoordinatorResponse(7, Point(1.0, 0.0), 2)
+        emitted = filt.receive_response(response)
+        assert emitted is not None
+        assert filt.waiting
+
+    def test_response_while_not_waiting_rejected(self):
+        filt = make_filter()
+        with pytest.raises(CoordinatorError):
+            filt.receive_response(CoordinatorResponse(7, Point(0.0, 0.0), 0))
+
+    def test_response_for_wrong_object_rejected(self):
+        filt = self._filter_in_waiting()
+        with pytest.raises(CoordinatorError):
+            filt.receive_response(CoordinatorResponse(8, Point(0.0, 0.0), 2))
+
+    def test_covering_set_chaining(self):
+        """The next SSA starts exactly at the endpoint assigned by the coordinator."""
+        filt = self._filter_in_waiting()
+        endpoint = Point(42.0, 24.0)
+        filt.receive_response(CoordinatorResponse(7, endpoint, 2))
+        assert filt.ssa_start.point == endpoint
+        assert filt.ssa_start.timestamp == 2
+
+
+class TestMotionPathGuarantee:
+    def test_reported_state_admits_a_fitting_motion_path(self):
+        """Any endpoint inside the reported FSA yields a motion path that fits the data.
+
+        This is the core invariant of RayTrace: the SSA is constructed so that
+        the segment from the start point to any point of the FSA, travelled
+        uniformly over [t_start, t_end], stays within epsilon of every
+        measurement processed.
+        """
+        epsilon = 1.5
+        filt = RayTraceFilter(0, TimePoint(Point(0.0, 0.0), 0), RayTraceConfig(epsilon))
+        measurements = [
+            TimePoint(Point(1.0, 0.2), 1),
+            TimePoint(Point(2.1, 0.4), 2),
+            TimePoint(Point(3.0, 0.2), 3),
+            TimePoint(Point(4.2, -0.3), 4),
+        ]
+        for measurement in measurements:
+            assert filt.observe(measurement) is None
+        state = filt.current_state()
+        # Check the centre of the FSA as a representative endpoint.
+        endpoint = state.fsa.center
+        span = state.t_end - state.t_start
+        for measurement in measurements:
+            fraction = (measurement.timestamp - state.t_start) / span
+            on_path = Point(
+                state.start.x + fraction * (endpoint.x - state.start.x),
+                state.start.y + fraction * (endpoint.y - state.start.y),
+            )
+            assert on_path.max_distance_to(measurement.point) <= epsilon + 1e-9
+
+
+class TestUncertaintyIntegration:
+    def test_uncertain_measurements_use_shrunken_squares(self):
+        """With delta > 0 the tolerance squares shrink, so violations come earlier."""
+        path = [
+            TimePoint(Point(0.0, 0.0), 0),
+            TimePoint(Point(1.0, 0.9), 1),
+            TimePoint(Point(2.0, -0.9), 2),
+            TimePoint(Point(3.0, 0.9), 3),
+            TimePoint(Point(4.0, -0.9), 4),
+            TimePoint(Point(5.0, 0.9), 5),
+        ]
+        plain = RayTraceFilter(0, path[0], RayTraceConfig(epsilon=1.0))
+        plain_messages = sum(1 for tp in path[1:] if plain.observe(tp) is not None)
+
+        uncertain_path = [
+            UncertainTimePoint(tp.point, tp.timestamp, 0.4, 0.4) for tp in path
+        ]
+        noisy = RayTraceFilter(0, uncertain_path[0], RayTraceConfig(epsilon=1.0, delta=0.1))
+        noisy_messages = 0
+        for measurement in uncertain_path[1:]:
+            if noisy.observe(measurement) is not None:
+                noisy_messages += 1
+                break
+        assert noisy_messages >= plain_messages
+
+    def test_mixed_measurement_types_accepted(self):
+        filt = RayTraceFilter(0, TimePoint(Point(0.0, 0.0), 0), RayTraceConfig(1.0, 0.1))
+        assert filt.observe(UncertainTimePoint(Point(0.5, 0.0), 1, 0.1, 0.1)) is None
+        assert filt.observe(TimePoint(Point(1.0, 0.0), 2)) is None
+
+
+class TestOutOfOrderMeasurements:
+    def test_regressing_timestamp_rejected(self):
+        filt = make_filter(epsilon=1.0)
+        filt.observe(TimePoint(Point(1.0, 0.0), 5))
+        with pytest.raises(CoordinatorError):
+            filt.observe(TimePoint(Point(2.0, 0.0), 3))

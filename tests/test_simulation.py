@@ -1,0 +1,140 @@
+"""Integration tests for the end-to-end simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.network.generator import NetworkConfig
+from repro.simulation.engine import HotPathSimulation, SimulationConfig
+
+
+SMALL_NETWORK = NetworkConfig(area_size=2000.0, grid_nodes_per_axis=6, seed=3)
+
+
+def small_config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        num_objects=80,
+        tolerance=10.0,
+        window=50,
+        epoch_length=10,
+        duration=80,
+        seed=5,
+        network_config=SMALL_NETWORK,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestSimulationConfig:
+    def test_invalid_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            small_config(tolerance=0.0)
+
+    def test_invalid_epoch(self):
+        with pytest.raises(ConfigurationError):
+            small_config(epoch_length=0)
+
+    def test_duration_must_exceed_epoch(self):
+        with pytest.raises(ConfigurationError):
+            small_config(duration=10, epoch_length=10)
+
+    def test_workload_config_derivation(self):
+        config = small_config(delta=0.1)
+        workload = config.workload_config()
+        assert workload.num_objects == config.num_objects
+        assert workload.report_uncertainty  # delta > 0 implies uncertain measurements
+
+
+class TestSimulationRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return HotPathSimulation(small_config()).run()
+
+    def test_epochs_recorded(self, result):
+        # duration=80, epoch=10 -> epochs at t=10..70 plus the final one at t=79.
+        assert len(result.metrics.epochs) == 8
+
+    def test_index_contains_paths(self, result):
+        assert result.coordinator.index_size() > 0
+        assert len(result.hot_paths()) > 0
+
+    def test_top_k_paths_sorted_by_hotness(self, result):
+        top = result.top_k_paths(10)
+        hotness_values = [scored.hotness for scored in top]
+        assert hotness_values == sorted(hotness_values, reverse=True)
+
+    def test_top_k_score_positive(self, result):
+        assert result.top_k_score(10) > 0.0
+
+    def test_summary_keys(self, result):
+        summary = result.summary()
+        assert summary["uplink_messages"] > 0
+        assert summary["naive_uplink_messages"] > summary["uplink_messages"]
+        assert 0.0 < summary["message_reduction_versus_naive"] <= 1.0
+
+    def test_dp_baseline_ran(self, result):
+        assert result.dp_baseline is not None
+        assert result.metrics.mean_dp_index_size >= 0.0
+
+    def test_responses_track_states(self, result):
+        # Every processed state message is answered by exactly one downlink
+        # response; states submitted after the final epoch stay unanswered, so
+        # the downlink count can lag the uplink count by at most that residue.
+        downlink = result.metrics.downlink.messages
+        uplink = result.metrics.uplink.messages
+        assert 0 < downlink <= uplink
+        assert downlink == result.metrics.total_states_processed
+
+    def test_hot_paths_have_positive_hotness_and_length(self, result):
+        for record, hotness in result.hot_paths():
+            assert hotness >= 1
+            assert record.path.length >= 0.0
+
+    def test_paths_lie_inside_monitored_area(self, result):
+        bounds = result.network.bounding_box(padding=result.config.tolerance * 4)
+        for record, _ in result.hot_paths():
+            assert bounds.contains_point(record.path.start)
+            assert bounds.contains_point(record.path.end)
+
+
+class TestSimulationVariants:
+    def test_without_baselines(self):
+        result = HotPathSimulation(
+            small_config(run_dp_baseline=False, run_naive_baseline=False, duration=60)
+        ).run()
+        assert result.dp_baseline is None
+        assert result.metrics.naive_uplink.messages == 0
+        assert result.coordinator.index_size() >= 0
+
+    def test_with_uncertainty(self):
+        result = HotPathSimulation(
+            small_config(delta=0.1, duration=60, run_dp_baseline=False)
+        ).run()
+        assert result.metrics.uplink.messages > 0
+
+    def test_determinism(self):
+        first = HotPathSimulation(small_config(duration=60)).run()
+        second = HotPathSimulation(small_config(duration=60)).run()
+        assert first.summary() == pytest.approx(second.summary(), rel=1e-9, abs=1e-2)
+
+    def test_larger_tolerance_reduces_messages(self):
+        tight = HotPathSimulation(
+            small_config(tolerance=2.0, duration=60, run_dp_baseline=False)
+        ).run()
+        loose = HotPathSimulation(
+            small_config(tolerance=40.0, duration=60, run_dp_baseline=False)
+        ).run()
+        assert loose.metrics.uplink.messages <= tight.metrics.uplink.messages
+
+    def test_custom_network_is_used(self, tiny_manual_network):
+        config = SimulationConfig(
+            num_objects=20,
+            tolerance=5.0,
+            window=30,
+            epoch_length=5,
+            duration=40,
+            seed=1,
+        )
+        result = HotPathSimulation(config, network=tiny_manual_network).run()
+        assert result.network is tiny_manual_network

@@ -1,0 +1,154 @@
+"""Unit tests for :mod:`repro.analysis.statistics`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.geometry import Point
+from repro.core.motion_path import MotionPath, MotionPathRecord
+from repro.analysis.statistics import (
+    DistributionSummary,
+    hot_path_statistics,
+    network_alignment,
+    summarise_distribution,
+)
+from repro.network.road_network import RoadNetwork
+
+
+def record(path_id: int, start: Point, end: Point) -> MotionPathRecord:
+    return MotionPathRecord(path_id, MotionPath(start, end))
+
+
+class TestSummariseDistribution:
+    def test_empty(self):
+        summary = summarise_distribution([])
+        assert summary == DistributionSummary.empty()
+        assert summary.count == 0
+
+    def test_single_value(self):
+        summary = summarise_distribution([5.0])
+        assert summary.minimum == summary.maximum == summary.mean == summary.median == 5.0
+        assert summary.p90 == 5.0
+        assert summary.total == 5.0
+
+    def test_known_values(self):
+        summary = summarise_distribution([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.mean == 2.5
+        assert summary.median == 2.5
+        assert summary.total == 10.0
+
+    def test_percentile_interpolation(self):
+        summary = summarise_distribution(list(range(11)))  # 0..10
+        assert summary.median == 5.0
+        assert summary.p90 == pytest.approx(9.0)
+
+    def test_order_independent(self):
+        assert summarise_distribution([3.0, 1.0, 2.0]) == summarise_distribution([1.0, 2.0, 3.0])
+
+
+class TestHotPathStatistics:
+    def _paths(self):
+        return [
+            (record(0, Point(0.0, 0.0), Point(100.0, 0.0)), 10),
+            (record(1, Point(0.0, 0.0), Point(50.0, 0.0)), 2),
+            (record(2, Point(0.0, 0.0), Point(10.0, 0.0)), 1),
+            (record(3, Point(0.0, 0.0), Point(20.0, 0.0)), 1),
+        ]
+
+    def test_empty_input(self):
+        statistics = hot_path_statistics([])
+        assert statistics.num_paths == 0
+        assert statistics.top_decile_heat_share == 0.0
+
+    def test_distributions(self):
+        statistics = hot_path_statistics(self._paths())
+        assert statistics.num_paths == 4
+        assert statistics.hotness.maximum == 10.0
+        assert statistics.hotness.total == 14.0
+        assert statistics.length.maximum == 100.0
+        assert statistics.score.maximum == 1000.0
+
+    def test_top_decile_heat_share(self):
+        statistics = hot_path_statistics(self._paths())
+        # 4 paths -> decile size 1 -> hottest path carries 10 of 14 crossings.
+        assert statistics.top_decile_heat_share == pytest.approx(10.0 / 14.0)
+
+    def test_uniform_hotness_gives_low_concentration(self):
+        paths = [(record(i, Point(0.0, 0.0), Point(10.0, 0.0)), 1) for i in range(20)]
+        statistics = hot_path_statistics(paths)
+        assert statistics.top_decile_heat_share == pytest.approx(2.0 / 20.0)
+
+
+class TestNetworkAlignment:
+    def _network(self) -> RoadNetwork:
+        network = RoadNetwork()
+        network.add_node(0, Point(0.0, 0.0))
+        network.add_node(1, Point(1000.0, 0.0))
+        network.add_node(2, Point(1000.0, 1000.0))
+        network.add_link(0, 1)
+        network.add_link(1, 2)
+        return network
+
+    def test_aligned_paths_detected(self):
+        network = self._network()
+        paths = [
+            (record(0, Point(100.0, 2.0), Point(500.0, -3.0)), 3),   # on the horizontal road
+            (record(1, Point(998.0, 100.0), Point(1003.0, 600.0)), 2),  # on the vertical road
+            (record(2, Point(500.0, 500.0), Point(600.0, 600.0)), 1),   # off-network
+        ]
+        alignment = network_alignment(paths, network, tolerance=10.0)
+        assert alignment.paths_considered == 3
+        assert alignment.aligned_paths == 2
+        assert alignment.aligned_fraction == pytest.approx(2.0 / 3.0)
+        assert alignment.mean_endpoint_distance > 0.0
+
+    def test_min_hotness_filter(self):
+        network = self._network()
+        paths = [
+            (record(0, Point(100.0, 2.0), Point(500.0, -3.0)), 3),
+            (record(2, Point(500.0, 500.0), Point(600.0, 600.0)), 1),
+        ]
+        alignment = network_alignment(paths, network, tolerance=10.0, min_hotness=2)
+        assert alignment.paths_considered == 1
+        assert alignment.aligned_fraction == 1.0
+
+    def test_empty_paths(self):
+        alignment = network_alignment([], self._network(), tolerance=10.0)
+        assert alignment.paths_considered == 0
+        assert alignment.aligned_fraction == 0.0
+        assert alignment.mean_endpoint_distance == 0.0
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            network_alignment([], self._network(), tolerance=0.0)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ConfigurationError):
+            network_alignment([], RoadNetwork(), tolerance=5.0)
+
+    def test_simulation_paths_align_with_network(self, small_network):
+        """Paths discovered on the synthetic workload hug the generating network."""
+        from repro.network.generator import NetworkConfig
+        from repro.simulation.engine import HotPathSimulation, SimulationConfig
+
+        config = SimulationConfig(
+            num_objects=80,
+            tolerance=10.0,
+            window=50,
+            epoch_length=10,
+            duration=60,
+            seed=5,
+            run_dp_baseline=False,
+            run_naive_baseline=False,
+            network_config=NetworkConfig(area_size=2000.0, grid_nodes_per_axis=6, seed=3),
+        )
+        result = HotPathSimulation(config).run()
+        alignment = network_alignment(
+            result.hot_paths(), result.network, tolerance=config.tolerance * 2
+        )
+        assert alignment.paths_considered > 0
+        assert alignment.aligned_fraction > 0.8

@@ -1,0 +1,193 @@
+"""Unit tests for :mod:`repro.core.trajectory`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidTrajectoryError
+from repro.core.geometry import Point
+from repro.core.trajectory import TimePoint, Trajectory, UncertainTimePoint
+
+
+def straight_line_trajectory(n: int = 5, step: float = 10.0) -> Trajectory:
+    """Object moving along the x axis, one unit of time per step."""
+    return Trajectory(
+        0, [TimePoint(Point(i * step, 0.0), i) for i in range(n)]
+    )
+
+
+class TestTimePoint:
+    def test_accessors(self):
+        tp = TimePoint(Point(1.0, 2.0), 7)
+        assert tp.x == 1.0
+        assert tp.y == 2.0
+        assert tp.timestamp == 7
+
+    def test_as_tuple(self):
+        assert TimePoint(Point(1.0, 2.0), 3).as_tuple() == (1.0, 2.0, 3)
+
+
+class TestUncertainTimePoint:
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(InvalidTrajectoryError):
+            UncertainTimePoint(Point(0.0, 0.0), 0, -1.0, 1.0)
+
+    def test_certain_drops_uncertainty(self):
+        utp = UncertainTimePoint(Point(1.0, 2.0), 5, 0.5, 0.5)
+        tp = utp.certain()
+        assert isinstance(tp, TimePoint)
+        assert tp.point == Point(1.0, 2.0)
+        assert tp.timestamp == 5
+
+    def test_accessors(self):
+        utp = UncertainTimePoint(Point(1.0, 2.0), 5, 0.5, 0.25)
+        assert utp.x == 1.0 and utp.y == 2.0
+        assert utp.sigma_x == 0.5 and utp.sigma_y == 0.25
+
+
+class TestTrajectoryConstruction:
+    def test_empty_trajectory_is_falsy(self):
+        assert not Trajectory(0)
+
+    def test_append_and_len(self):
+        trajectory = straight_line_trajectory(4)
+        assert len(trajectory) == 4
+
+    def test_append_requires_increasing_timestamps(self):
+        trajectory = Trajectory(0, [TimePoint(Point(0.0, 0.0), 5)])
+        with pytest.raises(InvalidTrajectoryError):
+            trajectory.append(TimePoint(Point(1.0, 1.0), 5))
+
+    def test_extend(self):
+        trajectory = Trajectory(0)
+        trajectory.extend([TimePoint(Point(0.0, 0.0), 0), TimePoint(Point(1.0, 0.0), 1)])
+        assert len(trajectory) == 2
+
+    def test_getitem_and_iter(self):
+        trajectory = straight_line_trajectory(3)
+        assert trajectory[1].point == Point(10.0, 0.0)
+        assert [tp.timestamp for tp in trajectory] == [0, 1, 2]
+
+    def test_timepoints_view_is_immutable_copy(self):
+        trajectory = straight_line_trajectory(3)
+        view = trajectory.timepoints
+        assert isinstance(view, tuple)
+        assert len(view) == 3
+
+
+class TestTrajectoryTimes:
+    def test_start_and_end_time(self):
+        trajectory = straight_line_trajectory(4)
+        assert trajectory.start_time == 0
+        assert trajectory.end_time == 3
+        assert trajectory.duration == 3
+
+    def test_empty_trajectory_time_errors(self):
+        with pytest.raises(InvalidTrajectoryError):
+            _ = Trajectory(0).start_time
+        with pytest.raises(InvalidTrajectoryError):
+            _ = Trajectory(0).end_time
+
+    def test_covers_time(self):
+        trajectory = straight_line_trajectory(4)
+        assert trajectory.covers_time(0)
+        assert trajectory.covers_time(2.5)
+        assert not trajectory.covers_time(3.5)
+        assert not Trajectory(0).covers_time(0)
+
+
+class TestInterpolation:
+    def test_location_at_observed_timestamp(self):
+        trajectory = straight_line_trajectory(4)
+        assert trajectory.location_at(2) == Point(20.0, 0.0)
+
+    def test_location_at_intermediate_timestamp(self):
+        trajectory = straight_line_trajectory(4)
+        assert trajectory.location_at(1.5) == Point(15.0, 0.0)
+
+    def test_location_outside_range_rejected(self):
+        trajectory = straight_line_trajectory(4)
+        with pytest.raises(InvalidTrajectoryError):
+            trajectory.location_at(10)
+
+    def test_location_on_empty_trajectory_rejected(self):
+        with pytest.raises(InvalidTrajectoryError):
+            Trajectory(0).location_at(0)
+
+    def test_interpolation_with_gap_in_timestamps(self):
+        trajectory = Trajectory(
+            0, [TimePoint(Point(0.0, 0.0), 0), TimePoint(Point(10.0, 10.0), 10)]
+        )
+        assert trajectory.location_at(5) == Point(5.0, 5.0)
+
+
+class TestGeometryHelpers:
+    def test_bounding_box(self):
+        trajectory = Trajectory(
+            0,
+            [
+                TimePoint(Point(0.0, 5.0), 0),
+                TimePoint(Point(10.0, -5.0), 1),
+                TimePoint(Point(4.0, 2.0), 2),
+            ],
+        )
+        box = trajectory.bounding_box()
+        assert box.low == Point(0.0, -5.0)
+        assert box.high == Point(10.0, 5.0)
+
+    def test_bounding_box_with_padding(self):
+        trajectory = straight_line_trajectory(2)
+        box = trajectory.bounding_box(padding=1.0)
+        assert box.low == Point(-1.0, -1.0)
+        assert box.high == Point(11.0, 1.0)
+
+    def test_bounding_box_empty_rejected(self):
+        with pytest.raises(InvalidTrajectoryError):
+            Trajectory(0).bounding_box()
+
+    def test_total_length(self):
+        trajectory = straight_line_trajectory(4, step=10.0)
+        assert trajectory.total_length() == pytest.approx(30.0)
+
+    def test_passes_near_true(self):
+        trajectory = straight_line_trajectory(5)
+        assert trajectory.passes_near(Point(22.0, 1.0), tolerance=3.0)
+
+    def test_passes_near_false(self):
+        trajectory = straight_line_trajectory(5)
+        assert not trajectory.passes_near(Point(22.0, 50.0), tolerance=3.0)
+
+    def test_passes_near_empty_is_false(self):
+        assert not Trajectory(0).passes_near(Point(0.0, 0.0), tolerance=1.0)
+
+
+class TestSliceAndResample:
+    def test_slice_time(self):
+        trajectory = straight_line_trajectory(6)
+        sliced = trajectory.slice_time(1, 3)
+        assert [tp.timestamp for tp in sliced] == [1, 2, 3]
+
+    def test_slice_time_invalid_range(self):
+        with pytest.raises(InvalidTrajectoryError):
+            straight_line_trajectory(3).slice_time(3, 1)
+
+    def test_resample_regular(self):
+        trajectory = straight_line_trajectory(7)
+        resampled = trajectory.resample(2)
+        assert [tp.timestamp for tp in resampled] == [0, 2, 4, 6]
+        assert resampled[1].point == Point(20.0, 0.0)
+
+    def test_resample_interpolates(self):
+        trajectory = Trajectory(
+            0, [TimePoint(Point(0.0, 0.0), 0), TimePoint(Point(10.0, 0.0), 10)]
+        )
+        resampled = trajectory.resample(4)
+        assert [tp.timestamp for tp in resampled] == [0, 4, 8]
+        assert resampled[1].point == Point(4.0, 0.0)
+
+    def test_resample_invalid_step(self):
+        with pytest.raises(InvalidTrajectoryError):
+            straight_line_trajectory(3).resample(0)
+
+    def test_resample_empty(self):
+        assert len(Trajectory(0).resample(5)) == 0

@@ -1,0 +1,254 @@
+"""Unit tests for the workload generator, noise models and scenarios."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.geometry import Point
+from repro.core.trajectory import TimePoint, UncertainTimePoint
+from repro.network.road_network import RoadNetwork
+from repro.workload.moving_objects import MovingObjectWorkload, WorkloadConfig
+from repro.workload.noise import GaussianNoiseModel, NoNoiseModel, UniformNoiseModel
+from repro.workload.scenarios import (
+    converging_event_trajectories,
+    evacuation_trajectories,
+    linear_corridor_trajectories,
+)
+
+
+class TestNoiseModels:
+    def test_no_noise_is_identity(self):
+        rng = random.Random(0)
+        point = Point(1.0, 2.0)
+        assert NoNoiseModel().perturb(point, rng) == point
+        assert NoNoiseModel().reported_sigma() == (0.0, 0.0)
+
+    def test_uniform_noise_bounded(self):
+        rng = random.Random(0)
+        model = UniformNoiseModel(err=2.0)
+        point = Point(10.0, 10.0)
+        for _ in range(200):
+            noisy = model.perturb(point, rng)
+            assert abs(noisy.x - 10.0) <= 2.0
+            assert abs(noisy.y - 10.0) <= 2.0
+
+    def test_uniform_noise_zero_err_is_identity(self):
+        rng = random.Random(0)
+        assert UniformNoiseModel(err=0.0).perturb(Point(1.0, 1.0), rng) == Point(1.0, 1.0)
+
+    def test_uniform_noise_negative_err_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformNoiseModel(err=-1.0)
+
+    def test_uniform_reported_sigma(self):
+        sigma_x, sigma_y = UniformNoiseModel(err=3.0).reported_sigma()
+        assert sigma_x == pytest.approx(3.0 / (3.0 ** 0.5))
+        assert sigma_x == sigma_y
+
+    def test_gaussian_noise_perturbs(self):
+        rng = random.Random(0)
+        model = GaussianNoiseModel(sigma_x=1.0, sigma_y=1.0)
+        noisy = model.perturb(Point(0.0, 0.0), rng)
+        assert noisy != Point(0.0, 0.0)
+
+    def test_gaussian_zero_sigma_axis_unchanged(self):
+        rng = random.Random(0)
+        model = GaussianNoiseModel(sigma_x=0.0, sigma_y=1.0)
+        noisy = model.perturb(Point(5.0, 5.0), rng)
+        assert noisy.x == 5.0
+
+    def test_gaussian_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GaussianNoiseModel(sigma_x=-1.0, sigma_y=0.0)
+
+
+class TestWorkloadConfig:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(num_objects=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(agility=0.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(agility=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(displacement=0.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(positional_error=-1.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(duration=0)
+
+
+class TestMovingObjectWorkload:
+    def _workload(self, small_network, **overrides) -> MovingObjectWorkload:
+        defaults = dict(num_objects=30, agility=0.5, duration=40, seed=9)
+        defaults.update(overrides)
+        return MovingObjectWorkload(small_network, WorkloadConfig(**defaults))
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MovingObjectWorkload(RoadNetwork(), WorkloadConfig(num_objects=5))
+
+    def test_initial_measurements_cover_all_objects(self, small_network):
+        workload = self._workload(small_network)
+        initial = workload.initial_measurements(0)
+        assert len(initial) == 30
+        assert {object_id for object_id, _ in initial} == set(range(30))
+        assert all(measurement.timestamp == 0 for _, measurement in initial)
+
+    def test_objects_start_on_network_nodes(self, small_network):
+        workload = self._workload(small_network, num_objects=10)
+        node_locations = {node.location for node in small_network.nodes()}
+        for object_id in range(10):
+            assert workload.object_state(object_id).position in node_locations
+
+    def test_step_respects_agility(self, small_network):
+        moving = self._workload(small_network, num_objects=200, agility=0.1)
+        measurements = moving.step(1)
+        # With agility 0.1 roughly 20 of 200 objects move; allow generous slack.
+        assert 2 <= len(measurements) <= 60
+
+    def test_full_agility_moves_everyone(self, small_network):
+        workload = self._workload(small_network, num_objects=25, agility=1.0)
+        assert len(workload.step(1)) == 25
+
+    def test_displacement_bounds_step_distance(self, small_network):
+        workload = self._workload(
+            small_network, num_objects=20, agility=1.0, displacement=10.0, positional_error=0.0
+        )
+        workload.initial_measurements(0)
+        before = {oid: workload.object_state(oid).position for oid in range(20)}
+        workload.step(1)
+        for object_id in range(20):
+            after = workload.object_state(object_id).position
+            assert before[object_id].euclidean_distance_to(after) <= 10.0 + 1e-6
+
+    def test_measurement_noise_bounded_by_err(self, small_network):
+        workload = self._workload(
+            small_network, num_objects=20, agility=1.0, positional_error=2.0
+        )
+        workload.initial_measurements(0)
+        for object_id, measurement in workload.step(1):
+            true_position = workload.object_state(object_id).position
+            assert abs(measurement.point.x - true_position.x) <= 2.0
+            assert abs(measurement.point.y - true_position.y) <= 2.0
+
+    def test_uncertain_measurements_carry_sigma(self, small_network):
+        workload = self._workload(small_network, num_objects=5, report_uncertainty=True)
+        initial = workload.initial_measurements(0)
+        assert all(isinstance(m, UncertainTimePoint) for _, m in initial)
+        assert all(m.sigma_x > 0 for _, m in initial)
+
+    def test_true_trajectories_recorded(self, small_network):
+        workload = self._workload(small_network, num_objects=5, agility=1.0)
+        for timestamp, _ in workload.run():
+            pass
+        trajectory = workload.true_trajectory(0)
+        assert len(trajectory) == 40
+        assert trajectory.start_time == 0
+        assert trajectory.end_time == 39
+
+    def test_unknown_object_rejected(self, small_network):
+        workload = self._workload(small_network, num_objects=5)
+        with pytest.raises(ConfigurationError):
+            workload.true_trajectory(99)
+        with pytest.raises(ConfigurationError):
+            workload.object_state(99)
+
+    def test_run_yields_duration_batches(self, small_network):
+        workload = self._workload(small_network, num_objects=5, duration=25)
+        batches = list(workload.run())
+        assert len(batches) == 25
+        assert batches[0][0] == 0
+        assert batches[-1][0] == 24
+
+    def test_determinism(self, small_network):
+        first = self._workload(small_network, num_objects=10, seed=4)
+        second = self._workload(small_network, num_objects=10, seed=4)
+        batch_1 = first.step(1)
+        batch_2 = second.step(1)
+        assert [(oid, m.point, m.timestamp) for oid, m in batch_1] == [
+            (oid, m.point, m.timestamp) for oid, m in batch_2
+        ]
+
+    def test_objects_follow_network_links(self, small_network):
+        """Noise-free measurements must lie on (or at) a network link."""
+        workload = self._workload(
+            small_network, num_objects=10, agility=1.0, positional_error=0.0
+        )
+        workload.initial_measurements(0)
+        for _ in range(1, 10):
+            workload.step(_)
+        for object_id in range(10):
+            position = workload.object_state(object_id).position
+            on_network = False
+            for link in small_network.links():
+                start = small_network.node(link.source).location
+                end = small_network.node(link.target).location
+                # Distance from the point to the segment.
+                from repro.baselines.douglas_peucker import perpendicular_distance
+
+                if perpendicular_distance(position, start, end) < 1e-6:
+                    on_network = True
+                    break
+            assert on_network
+
+
+class TestScenarios:
+    def test_linear_corridor_shapes(self):
+        trajectories = linear_corridor_trajectories(num_objects=4, duration=20)
+        assert len(trajectories) == 4
+        for trajectory in trajectories.values():
+            assert len(trajectory) == 20
+
+    def test_linear_corridor_objects_stay_close_to_axis(self):
+        trajectories = linear_corridor_trajectories(
+            num_objects=6, lateral_spread=2.0, heading_degrees=0.0
+        )
+        for trajectory in trajectories.values():
+            assert all(abs(tp.y) <= 2.0 for tp in trajectory)
+
+    def test_linear_corridor_stagger(self):
+        trajectories = linear_corridor_trajectories(num_objects=3, duration=10, start_stagger=5)
+        assert trajectories[0].start_time == 0
+        assert trajectories[1].start_time == 5
+        assert trajectories[2].start_time == 10
+
+    def test_linear_corridor_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            linear_corridor_trajectories(num_objects=0)
+        with pytest.raises(ConfigurationError):
+            linear_corridor_trajectories(duration=1)
+
+    def test_converging_event_ends_near_venue(self):
+        venue = Point(100.0, 100.0)
+        trajectories = converging_event_trajectories(num_objects=8, venue=venue, duration=30)
+        for trajectory in trajectories.values():
+            final = trajectory[len(trajectory) - 1].point
+            assert final.euclidean_distance_to(venue) < 1.0
+
+    def test_converging_event_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            converging_event_trajectories(num_objects=0)
+
+    def test_evacuation_moves_away_from_danger(self):
+        danger = Point(0.0, 0.0)
+        trajectories = evacuation_trajectories(num_objects=6, danger_zone=danger, duration=30)
+        for trajectory in trajectories.values():
+            start_distance = trajectory[0].point.euclidean_distance_to(danger)
+            end_distance = trajectory[len(trajectory) - 1].point.euclidean_distance_to(danger)
+            assert end_distance > start_distance
+
+    def test_evacuation_routes_shared(self):
+        trajectories = evacuation_trajectories(num_objects=20, num_escape_routes=2, duration=30)
+        final_points = [t[len(t) - 1].point for t in trajectories.values()]
+        distinct = {(round(p.x, 3), round(p.y, 3)) for p in final_points}
+        assert len(distinct) <= 2
+
+    def test_evacuation_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            evacuation_trajectories(num_objects=0)
+        with pytest.raises(ConfigurationError):
+            evacuation_trajectories(duration=1)
