@@ -1,0 +1,99 @@
+"""Sharding benchmark — coordinator scale-out across shard counts.
+
+Runs the same scaled workload against a single-shard coordinator and against
+2x2 and 4x4 shard fleets.  Sharding is behaviour-identical by construction
+(see ``tests/test_sharding_equivalence.py``), so the benchmark asserts the
+discovered top-k is bit-for-bit equal across shard counts and records the
+per-epoch coordinator time plus the fleet's load balance.  On a single Python
+process the fleet pays a small routing overhead; the numbers here are the
+baseline for the async-shard-worker follow-on, where per-shard passes run in
+parallel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import scaled_simulation_config
+from repro.simulation.engine import HotPathSimulation
+
+SHARD_COUNTS = (1, 4, 16)
+
+
+def _run(num_shards, experiment_scale):
+    config = scaled_simulation_config(
+        scale=experiment_scale,
+        num_shards=num_shards,
+        run_dp_baseline=False,
+        run_naive_baseline=False,
+    )
+    return HotPathSimulation(config).run()
+
+
+@pytest.mark.benchmark(group="sharding")
+def test_sharding_scaling(benchmark, experiment_scale, record_result):
+    results = benchmark.pedantic(
+        lambda: {n: _run(n, experiment_scale) for n in SHARD_COUNTS},
+        rounds=1,
+        iterations=1,
+    )
+
+    header = (
+        f"{'shards':>7} {'time/epoch s':>14} {'index size':>12} "
+        f"{'top-k score':>12} {'max/mean shard load':>20}"
+    )
+    lines = [header, "-" * len(header)]
+    for num_shards, result in results.items():
+        summary = result.summary()
+        stats = result.coordinator.shard_statistics()
+        balance = (
+            stats["max_shard_records"] / stats["mean_shard_records"]
+            if stats["mean_shard_records"]
+            else 0.0
+        )
+        lines.append(
+            f"{num_shards:>7d} {summary['mean_processing_seconds']:>14.4f} "
+            f"{summary['final_index_size']:>12.0f} {summary['mean_top_k_score']:>12.1f} "
+            f"{balance:>20.2f}"
+        )
+    record_result("sharding_scaling", "\n".join(lines))
+
+    # Scale-out must never change the answer: identical top-k everywhere.
+    baseline = results[1]
+    for num_shards in SHARD_COUNTS[1:]:
+        assert results[num_shards].top_k_paths() == baseline.top_k_paths()
+        assert results[num_shards].top_k_score() == baseline.top_k_score()
+    # The fleet actually spreads the load over several shards.
+    stats = results[16].coordinator.shard_statistics()
+    assert stats["num_shards"] == 16
+    if stats["total_records"]:
+        assert stats["max_shard_records"] < stats["total_records"]
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="sharding")
+def test_sharding_scaling_large_population(benchmark, experiment_scale, record_result):
+    """Heavier differential run (4x the scaled population); opt in via -m slow."""
+    results = {}
+
+    def run_all():
+        for num_shards in SHARD_COUNTS:
+            sharded = scaled_simulation_config(
+                scale=experiment_scale,
+                num_objects=80000,
+                num_shards=num_shards,
+                run_dp_baseline=False,
+                run_naive_baseline=False,
+            )
+            results[num_shards] = HotPathSimulation(sharded).run()
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [
+        f"shards={n} time/epoch={r.summary()['mean_processing_seconds']:.4f}s "
+        f"index={r.summary()['final_index_size']:.0f}"
+        for n, r in results.items()
+    ]
+    record_result("sharding_scaling_large", "\n".join(lines))
+    for num_shards in SHARD_COUNTS[1:]:
+        assert results[num_shards].top_k_paths() == results[1].top_k_paths()

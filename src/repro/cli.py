@@ -67,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--duration", type=int, default=150, help="simulated timestamps")
     run_parser.add_argument("--epoch", type=int, default=10, help="epoch length in timestamps")
     run_parser.add_argument("--top-k", type=int, default=10, help="number of hot paths to report")
+    run_parser.add_argument(
+        "--shards", type=int, default=1,
+        help="coordinator shards (1 = the paper's central coordinator)",
+    )
     run_parser.add_argument("--seed", type=int, default=42)
     run_parser.add_argument("--network-nodes", type=int, default=10, help="grid nodes per axis")
     run_parser.add_argument("--area", type=float, default=4000.0, help="area side length in metres")
@@ -103,12 +107,20 @@ def _command_run(args: argparse.Namespace) -> int:
         epoch_length=args.epoch,
         duration=args.duration,
         top_k=args.top_k,
+        num_shards=args.shards,
         seed=args.seed,
         network_config=NetworkConfig(area_size=args.area, grid_nodes_per_axis=args.network_nodes),
     )
     result = HotPathSimulation(config).run()
     summary = result.summary()
     print(f"objects={config.num_objects} tolerance={config.tolerance} duration={config.duration}")
+    if config.num_shards > 1:
+        shards = result.coordinator.shard_statistics()
+        print(
+            f"coordinator shards: {shards['num_shards']:.0f} "
+            f"(records per shard min/mean/max: {shards['min_shard_records']:.0f}"
+            f"/{shards['mean_shard_records']:.1f}/{shards['max_shard_records']:.0f})"
+        )
     print(f"index size (final / mean per epoch): {summary['final_index_size']:.0f} / {summary['mean_index_size']:.1f}")
     print(f"top-{config.top_k} score (mean per epoch):  {summary['mean_top_k_score']:.1f}")
     print(f"coordinator time per epoch:          {summary['mean_processing_seconds'] * 1000:.2f} ms")

@@ -24,6 +24,7 @@ from repro.core.scoring import ScoredPath, select_top_k, top_k_score
 from repro.client.state import CoordinatorResponse, ObjectState
 from repro.coordinator.grid_index import GridConfig, GridIndex
 from repro.coordinator.hotness import HotnessTracker
+from repro.coordinator.sharding import ShardRouter
 from repro.coordinator.single_path import SinglePathStrategy
 
 __all__ = ["CoordinatorConfig", "EpochOutcome", "Coordinator"]
@@ -35,16 +36,21 @@ class CoordinatorConfig:
 
     ``window`` is the sliding-window length ``W`` in time units; ``bounds`` is
     the monitored area used to size the grid index; ``cells_per_axis`` sets the
-    grid resolution.
+    grid resolution.  ``num_shards`` partitions the area into an R x C shard
+    grid (see :mod:`repro.coordinator.sharding`); the default of 1 keeps the
+    single-shard structures of the paper.
     """
 
     bounds: Rectangle
     window: int = 100
     cells_per_axis: int = 64
+    num_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.window <= 0:
             raise ConfigurationError(f"window must be positive, got {self.window}")
+        if self.num_shards <= 0:
+            raise ConfigurationError(f"num_shards must be positive, got {self.num_shards}")
 
 
 @dataclass
@@ -65,9 +71,21 @@ class Coordinator:
 
     def __init__(self, config: CoordinatorConfig) -> None:
         self.config = config
-        self.index = GridIndex(GridConfig(config.bounds, config.cells_per_axis))
-        self.hotness = HotnessTracker(config.window)
-        self.strategy = SinglePathStrategy(self.index, self.hotness)
+        if config.num_shards == 1:
+            self.router = None
+            self.index = GridIndex(GridConfig(config.bounds, config.cells_per_axis))
+            self.hotness = HotnessTracker(config.window)
+            self.strategy = SinglePathStrategy(self.index, self.hotness)
+        else:
+            # The router views expose the exact GridIndex / HotnessTracker /
+            # SinglePathStrategy interfaces, so the epoch loop below is the
+            # same code whether the state lives in one shard or a fleet.
+            self.router = ShardRouter(
+                config.bounds, config.window, config.cells_per_axis, config.num_shards
+            )
+            self.index = self.router.index
+            self.hotness = self.router.hotness
+            self.strategy = self.router.pipeline
         self._pending_states: List[ObjectState] = []
         self._epochs_processed = 0
         self._total_processing_seconds = 0.0
@@ -117,6 +135,19 @@ class Coordinator:
     def index_size(self) -> int:
         """Number of motion paths currently stored in the grid index."""
         return len(self.index)
+
+    def shard_statistics(self) -> Dict[str, float]:
+        """Load-balance diagnostics; a single-shard coordinator reports one shard."""
+        if self.router is not None:
+            return self.router.shard_statistics()
+        size = float(len(self.index))
+        return {
+            "num_shards": 1,
+            "total_records": size,
+            "max_shard_records": size,
+            "min_shard_records": size,
+            "mean_shard_records": size,
+        }
 
     def hot_paths(self) -> List[Tuple[MotionPathRecord, int]]:
         """All stored paths with non-zero hotness, as ``(record, hotness)`` pairs."""

@@ -1,30 +1,47 @@
 """Lightweight grid index over motion-path endpoints (paper Section 5.1).
 
 The space is partitioned into a fixed number of square cells.  For every
-stored motion path both endpoints are indexed: each cell keeps, per endpoint
-that falls inside it, the path id and the coordinates of the *other* endpoint,
-organised in a hash table for constant-time insertion and deletion.
+stored motion path both endpoints are indexed: each cell keeps one entry per
+endpoint that falls inside it, keyed by ``(path_id, is_start)`` and carrying
+the coordinates of the endpoint itself plus the *other* endpoint, organised in
+a hash table for constant-time insertion and deletion.  Keying by the full
+``(path_id, is_start)`` pair (rather than the path id alone) matters when both
+endpoints of a path land in the same cell — e.g. short paths, or endpoints
+clamped into the same border cell — since each endpoint must keep its own
+entry.
 
 Query operations mirror what SinglePath needs:
 
-* :meth:`paths_from_into` — motion paths that start at a given vertex and end
-  inside a query rectangle (Case 1 candidates);
+* :meth:`paths_starting_at` — motion paths that start at a given vertex and
+  end inside a query rectangle, answered from the single cell containing the
+  start vertex (Case 1 candidates);
+* :meth:`paths_from_into` — the same result set, answered by scanning the end
+  entries inside the query rectangle instead;
 * :meth:`end_vertices_in` — distinct end vertices of stored paths inside a
   query rectangle together with the ids of the paths terminating there
   (Case 2 candidates).
+
+For sharded deployments (see :mod:`repro.coordinator.sharding`) the record
+store and the endpoint entries can be decoupled: a shard indexes only the
+endpoints it owns via :meth:`add_entry` / :meth:`remove_entry`, registers only
+the records it owns via :meth:`register`, and resolves foreign records through
+the optional ``record_resolver`` callback.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.errors import ConfigurationError, CoordinatorError
 from repro.core.geometry import Point, Rectangle
 from repro.core.motion_path import MotionPath, MotionPathRecord
 
 __all__ = ["GridConfig", "GridIndex"]
+
+#: One indexed endpoint: ``(path_id, is_start) -> (indexed endpoint, other endpoint)``.
+EntryKey = Tuple[int, bool]
+Entry = Tuple[Point, Point]
 
 
 @dataclass(frozen=True)
@@ -52,15 +69,20 @@ class GridConfig:
 class GridIndex:
     """Grid-based index of motion-path endpoints keyed by path id."""
 
-    def __init__(self, config: GridConfig) -> None:
+    def __init__(
+        self,
+        config: GridConfig,
+        record_resolver: Optional[Callable[[int], Optional[MotionPathRecord]]] = None,
+    ) -> None:
         self.config = config
         self._cell_width = config.bounds.width / config.cells_per_axis
         self._cell_height = config.bounds.height / config.cells_per_axis
-        # cell -> {path_id -> (indexed endpoint, other endpoint, is_start)}
-        self._cells: Dict[Tuple[int, int], Dict[int, Tuple[Point, Point, bool]]] = {}
+        # cell -> {(path_id, is_start) -> (indexed endpoint, other endpoint)}
+        self._cells: Dict[Tuple[int, int], Dict[EntryKey, Entry]] = {}
         # path_id -> record, for direct lookups and deletion.
         self._records: Dict[int, MotionPathRecord] = {}
         self._next_path_id = 0
+        self._record_resolver = record_resolver
 
     # -- bookkeeping -------------------------------------------------------------
 
@@ -82,29 +104,78 @@ class GridIndex:
         except KeyError:
             raise CoordinatorError(f"motion path {path_id} is not in the index") from None
 
+    def _record_of(self, path_id: int) -> MotionPathRecord:
+        """Resolve a record, falling back to the foreign-record resolver."""
+        record = self._records.get(path_id)
+        if record is None and self._record_resolver is not None:
+            record = self._record_resolver(path_id)
+        if record is None:
+            raise CoordinatorError(f"motion path {path_id} is not in the index")
+        return record
+
     # -- insertion / deletion -------------------------------------------------------
 
     def insert(self, path: MotionPath, created_at: int = 0) -> MotionPathRecord:
         """Insert a new motion path and return its record (with a fresh id)."""
         record = MotionPathRecord(self._next_path_id, path, created_at)
         self._next_path_id += 1
-        self._records[record.path_id] = record
-        self._cell_entry(path.start)[record.path_id] = (path.start, path.end, True)
-        self._cell_entry(path.end)[record.path_id] = (path.end, path.start, False)
+        self.register(record)
+        self.add_entry(record, is_start=True)
+        self.add_entry(record, is_start=False)
         return record
 
     def delete(self, path_id: int) -> None:
         """Remove a motion path from the index (e.g. when its hotness expires)."""
         record = self.get(path_id)
-        for endpoint in (record.path.start, record.path.end):
-            cell = self._cells.get(self._cell_of(endpoint))
-            if cell is not None:
-                cell.pop(path_id, None)
-                if not cell:
-                    del self._cells[self._cell_of(endpoint)]
+        self.remove_entry(path_id, record.path.start, is_start=True)
+        self.remove_entry(path_id, record.path.end, is_start=False)
+        self.unregister(path_id)
+
+    # -- entry-level primitives (used directly by the sharded router) ---------------
+
+    def register(self, record: MotionPathRecord) -> None:
+        """Store a record in the record table without indexing its endpoints."""
+        self._records[record.path_id] = record
+
+    def unregister(self, path_id: int) -> None:
+        """Drop a record from the record table (its entries must be gone already)."""
         del self._records[path_id]
 
+    def add_entry(self, record: MotionPathRecord, is_start: bool) -> None:
+        """Index one endpoint of ``record`` in the cell that contains it."""
+        if is_start:
+            endpoint, other = record.path.start, record.path.end
+        else:
+            endpoint, other = record.path.end, record.path.start
+        self._cells.setdefault(self._cell_of(endpoint), {})[
+            (record.path_id, is_start)
+        ] = (endpoint, other)
+
+    def remove_entry(self, path_id: int, endpoint: Point, is_start: bool) -> None:
+        """Remove one endpoint entry, dropping its cell when it becomes empty."""
+        key = self._cell_of(endpoint)
+        cell = self._cells.get(key)
+        if cell is not None:
+            cell.pop((path_id, is_start), None)
+            if not cell:
+                del self._cells[key]
+
     # -- queries ----------------------------------------------------------------------
+
+    def paths_starting_at(self, start: Point, region: Rectangle) -> List[MotionPathRecord]:
+        """Motion paths starting exactly at ``start`` whose end lies inside ``region``.
+
+        Answered from the single cell containing ``start``, so the cost is
+        independent of the query rectangle's size — this is the hot-loop form
+        of the Case 1 candidate query.
+        """
+        cell = self._cells.get(self._cell_of(start))
+        results: List[MotionPathRecord] = []
+        if cell:
+            for (path_id, is_start), (endpoint, other) in cell.items():
+                if is_start and endpoint == start and region.contains_point(other):
+                    results.append(self._record_of(path_id))
+        return results
 
     def paths_from_into(self, start: Point, region: Rectangle) -> List[MotionPathRecord]:
         """Motion paths starting at ``start`` whose end vertex lies inside ``region``.
@@ -114,18 +185,17 @@ class GridIndex:
         the endpoint the coordinator previously assigned to it.
         """
         results: List[MotionPathRecord] = []
-        for path_id, (endpoint, _other, is_start) in self._entries_in(region):
+        for (path_id, is_start), (endpoint, other) in self._entries_in(region):
             if is_start:
                 continue
-            record = self._records[path_id]
-            if record.path.start == start and region.contains_point(record.path.end):
-                results.append(record)
+            if other == start and region.contains_point(endpoint):
+                results.append(self._record_of(path_id))
         return results
 
     def end_vertices_in(self, region: Rectangle) -> Dict[Point, List[int]]:
         """Distinct end vertices inside ``region`` mapped to the ids of paths ending there."""
         vertices: Dict[Point, List[int]] = {}
-        for path_id, (endpoint, _other, is_start) in self._entries_in(region):
+        for (path_id, is_start), (endpoint, _other) in self._entries_in(region):
             if is_start:
                 continue
             if region.contains_point(endpoint):
@@ -140,12 +210,12 @@ class GridIndex:
         """
         seen: Set[int] = set()
         results: List[MotionPathRecord] = []
-        for path_id, (endpoint, _other, _is_start) in self._entries_in(region):
+        for (path_id, _is_start), (endpoint, _other) in self._entries_in(region):
             if path_id in seen:
                 continue
             if region.contains_point(endpoint):
                 seen.add(path_id)
-                results.append(self._records[path_id])
+                results.append(self._record_of(path_id))
         return results
 
     # -- cell arithmetic ------------------------------------------------------------------
@@ -157,9 +227,6 @@ class GridIndex:
         last = self.config.cells_per_axis - 1
         return (min(max(col, 0), last), min(max(row, 0), last))
 
-    def _cell_entry(self, point: Point) -> Dict[int, Tuple[Point, Point, bool]]:
-        return self._cells.setdefault(self._cell_of(point), {})
-
     def _cells_overlapping(self, region: Rectangle) -> Iterator[Tuple[int, int]]:
         low_col, low_row = self._cell_of(region.low)
         high_col, high_row = self._cell_of(region.high)
@@ -167,13 +234,13 @@ class GridIndex:
             for row in range(low_row, high_row + 1):
                 yield (col, row)
 
-    def _entries_in(self, region: Rectangle) -> Iterator[Tuple[int, Tuple[Point, Point, bool]]]:
+    def _entries_in(self, region: Rectangle) -> Iterator[Tuple[EntryKey, Entry]]:
         for cell_key in self._cells_overlapping(region):
             cell = self._cells.get(cell_key)
             if not cell:
                 continue
-            for path_id, entry in cell.items():
-                yield path_id, entry
+            for entry_key, entry in cell.items():
+                yield entry_key, entry
 
     # -- diagnostics --------------------------------------------------------------------------
 

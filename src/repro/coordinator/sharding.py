@@ -1,0 +1,525 @@
+"""Sharded coordinator subsystem: horizontal partitioning of the monitored area.
+
+The paper's coordinator is a single process owning one grid index, one hotness
+tracker and one SinglePath strategy.  To scale towards millions of objects the
+monitored area is partitioned into an R x C *shard grid*; every shard owns the
+full coordinator state for its sub-rectangle:
+
+* a :class:`~repro.coordinator.grid_index.GridIndex` holding the motion-path
+  records whose **start** vertex falls in the shard, plus the endpoint entries
+  the shard owns;
+* a :class:`~repro.coordinator.hotness.HotnessTracker` with the expiry events
+  of the paths the shard owns;
+* a :class:`~repro.coordinator.single_path.SinglePathStrategy` bound to a
+  shard-local index view.
+
+**Endpoint-owner routing.**  A motion path is a segment whose two endpoints
+may fall into different shards.  Each endpoint entry is indexed by the shard
+that owns the endpoint's location; the record itself (and the path's hotness)
+lives with the shard owning the *start* vertex.  A path straddling a shard
+boundary therefore has its start entry and record in one shard and its end
+entry in the neighbouring shard, which the neighbour resolves through the
+router when a query returns that entry.  Point-to-shard assignment uses the
+same clamped floor arithmetic as the per-shard grids, so points outside the
+monitored area land in border shards and every query region maps to a
+contiguous rectangle of shards.
+
+**Batched epoch pipeline.**  :class:`ShardedSinglePath` processes an epoch's
+submissions in three batched stages instead of per-message dispatch:
+
+1. one pass groups the batch by owning shard (O(batch) dict operations);
+2. each shard computes the Case 1 candidate sets for its whole bucket in a
+   single pass — candidate paths start at the reporting object's SSA start,
+   so the owning shard answers from one local grid cell without touching its
+   neighbours;
+3. decisions run in global submission order (preserving the sequential
+   semantics of Algorithm 2), with Case 2/3 index reads fanning out only to
+   the shards actually overlapped by the object's FSA.
+
+Per-shard expiry queues are drained lazily at the epoch boundary (the
+*deferred drain*): :meth:`ShardedHotnessTracker.advance_time` sweeps each
+shard's event heap once per epoch rather than interleaving expiry work with
+message intake.
+
+**Exactness.**  The sharded coordinator is behaviour-identical to the
+single-shard coordinator, not an approximation: path ids come from one global
+counter, decisions execute in submission order against the same live state,
+every SinglePath tie-break is a total order (independent of candidate
+enumeration order), and the top-k merge ranks the union of per-shard hot
+paths with the same total key.  ``tests/test_sharding_equivalence.py`` holds
+the differential harness asserting bit-for-bit equality on full simulation
+workloads.  The remaining cross-shard coupling — the FSA overlap structure of
+one epoch is built globally — is the price of exactness and is listed in the
+roadmap as the seam for approximate asynchronous shard workers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import chain
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError, CoordinatorError
+from repro.core.geometry import Point, Rectangle
+from repro.core.motion_path import MotionPath, MotionPathRecord
+from repro.client.state import ObjectState
+from repro.coordinator.grid_index import GridConfig, GridIndex
+from repro.coordinator.hotness import HotnessTracker
+from repro.coordinator.overlaps import FsaOverlapStructure
+from repro.coordinator.single_path import (
+    CandidatePath,
+    SinglePathEpochResult,
+    SinglePathStrategy,
+    apply_co_occurrence_boost,
+)
+
+__all__ = [
+    "shard_layout",
+    "ShardGrid",
+    "Shard",
+    "ShardRouter",
+    "ShardedGridIndex",
+    "ShardedHotnessTracker",
+    "ShardedSinglePath",
+]
+
+
+def shard_layout(num_shards: int) -> Tuple[int, int]:
+    """Factor ``num_shards`` into the most square ``(rows, cols)`` grid.
+
+    4 becomes 2x2, 16 becomes 4x4, 6 becomes 2x3; a prime count degrades to a
+    single row of column stripes.
+    """
+    if num_shards <= 0:
+        raise ConfigurationError(f"num_shards must be positive, got {num_shards}")
+    rows = int(math.isqrt(num_shards))
+    while num_shards % rows:
+        rows -= 1
+    return rows, num_shards // rows
+
+
+class ShardGrid:
+    """Point-to-shard assignment over an R x C partition of the bounds.
+
+    Uses the same clamped floor arithmetic as :class:`GridIndex`, so ownership
+    is monotone in each coordinate: any query rectangle maps to a contiguous
+    inclusive range of shard rows and columns, and a point inside the
+    rectangle is always owned by a shard in that range (including points
+    clamped in from outside the monitored area).
+    """
+
+    def __init__(self, bounds: Rectangle, rows: int, cols: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ConfigurationError(f"shard grid must be positive, got {rows}x{cols}")
+        self.bounds = bounds
+        self.rows = rows
+        self.cols = cols
+        self._shard_width = bounds.width / cols
+        self._shard_height = bounds.height / rows
+
+    @property
+    def num_shards(self) -> int:
+        return self.rows * self.cols
+
+    def cell_of(self, point: Point) -> Tuple[int, int]:
+        """The ``(col, row)`` of the shard owning ``point`` (clamped)."""
+        col = int((point.x - self.bounds.low.x) / self._shard_width)
+        row = int((point.y - self.bounds.low.y) / self._shard_height)
+        return (
+            min(max(col, 0), self.cols - 1),
+            min(max(row, 0), self.rows - 1),
+        )
+
+    def shard_id_of(self, point: Point) -> int:
+        col, row = self.cell_of(point)
+        return row * self.cols + col
+
+    def span_of(self, region: Rectangle) -> Tuple[int, int, int, int]:
+        """Inclusive ``(col_lo, col_hi, row_lo, row_hi)`` shard range of ``region``."""
+        col_lo, row_lo = self.cell_of(region.low)
+        col_hi, row_hi = self.cell_of(region.high)
+        return col_lo, col_hi, row_lo, row_hi
+
+    def shard_ids_overlapping(self, region: Rectangle) -> Iterator[int]:
+        col_lo, col_hi, row_lo, row_hi = self.span_of(region)
+        for row in range(row_lo, row_hi + 1):
+            base = row * self.cols
+            for col in range(col_lo, col_hi + 1):
+                yield base + col
+
+    def sub_bounds(self, col: int, row: int) -> Rectangle:
+        """The sub-rectangle covered by shard ``(col, row)``.
+
+        The last row/column extends exactly to the global bounds so no strip
+        of the area is lost to floating-point division.
+        """
+        low = Point(
+            self.bounds.low.x + col * self._shard_width,
+            self.bounds.low.y + row * self._shard_height,
+        )
+        high = Point(
+            self.bounds.high.x if col == self.cols - 1 else low.x + self._shard_width,
+            self.bounds.high.y if row == self.rows - 1 else low.y + self._shard_height,
+        )
+        return Rectangle(low, high)
+
+
+@dataclass
+class Shard:
+    """One shard: its sub-area plus the coordinator state it owns."""
+
+    shard_id: int
+    col: int
+    row: int
+    bounds: Rectangle
+    index: GridIndex
+    hotness: HotnessTracker
+    strategy: Optional[SinglePathStrategy]
+
+
+class _ShardLocalView:
+    """Index facade handed to a shard's SinglePath strategy.
+
+    Case 1 candidate scans stay on the shard (the owning shard holds every
+    start entry for its vertices); region queries consult the router only when
+    the query rectangle actually straddles the shard boundary.
+    """
+
+    def __init__(self, router: "ShardRouter", shard_id: int) -> None:
+        self._router = router
+        self._shard_id = shard_id
+
+    def _local_only(self, region: Rectangle) -> bool:
+        grid = self._router.grid
+        col_lo, col_hi, row_lo, row_hi = grid.span_of(region)
+        if col_lo != col_hi or row_lo != row_hi:
+            return False
+        return row_lo * grid.cols + col_lo == self._shard_id
+
+    @property
+    def _local_index(self) -> GridIndex:
+        return self._router.shards[self._shard_id].index
+
+    def paths_starting_at(self, start: Point, region: Rectangle) -> List[MotionPathRecord]:
+        return self._local_index.paths_starting_at(start, region)
+
+    def end_vertices_in(self, region: Rectangle) -> Dict[Point, List[int]]:
+        if self._local_only(region):
+            return self._local_index.end_vertices_in(region)
+        return self._router.index.end_vertices_in(region)
+
+    def paths_from_into(self, start: Point, region: Rectangle) -> List[MotionPathRecord]:
+        if self._local_only(region):
+            return self._local_index.paths_from_into(start, region)
+        return self._router.index.paths_from_into(start, region)
+
+    def insert(self, path: MotionPath, created_at: int = 0) -> MotionPathRecord:
+        return self._router.insert(path, created_at)
+
+
+class ShardedGridIndex:
+    """Router-backed facade with the :class:`GridIndex` query/update surface.
+
+    Point operations go straight to the owning shard; region queries fan out
+    to the contiguous block of shards the region overlaps and merge the
+    per-shard answers.  The merge is exact: endpoint entries are partitioned
+    across shards, so concatenation never duplicates an end entry and a seen
+    set deduplicates paths whose two endpoints live in different shards.
+    """
+
+    def __init__(self, router: "ShardRouter") -> None:
+        self._router = router
+        self.config = router.global_grid_config
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(shard.index) for shard in self._router.shards)
+
+    def __contains__(self, path_id: int) -> bool:
+        return path_id in self._router.owners
+
+    @property
+    def records(self) -> Iterable[MotionPathRecord]:
+        return chain.from_iterable(shard.index.records for shard in self._router.shards)
+
+    def get(self, path_id: int) -> MotionPathRecord:
+        shard = self._router.owners.get(path_id)
+        if shard is None:
+            raise CoordinatorError(f"motion path {path_id} is not in the index")
+        return shard.index.get(path_id)
+
+    # -- insertion / deletion -------------------------------------------------------
+
+    def insert(self, path: MotionPath, created_at: int = 0) -> MotionPathRecord:
+        return self._router.insert(path, created_at)
+
+    def delete(self, path_id: int) -> None:
+        self._router.delete(path_id)
+
+    # -- queries ----------------------------------------------------------------------
+
+    def paths_starting_at(self, start: Point, region: Rectangle) -> List[MotionPathRecord]:
+        owner = self._router.shard_of(start)
+        return owner.index.paths_starting_at(start, region)
+
+    def paths_from_into(self, start: Point, region: Rectangle) -> List[MotionPathRecord]:
+        results: List[MotionPathRecord] = []
+        for shard in self._router.shards_overlapping(region):
+            results.extend(shard.index.paths_from_into(start, region))
+        return results
+
+    def end_vertices_in(self, region: Rectangle) -> Dict[Point, List[int]]:
+        vertices: Dict[Point, List[int]] = {}
+        for shard in self._router.shards_overlapping(region):
+            for vertex, path_ids in shard.index.end_vertices_in(region).items():
+                vertices.setdefault(vertex, []).extend(path_ids)
+        return vertices
+
+    def paths_intersecting(self, region: Rectangle) -> List[MotionPathRecord]:
+        seen = set()
+        results: List[MotionPathRecord] = []
+        for shard in self._router.shards_overlapping(region):
+            for record in shard.index.paths_intersecting(region):
+                if record.path_id not in seen:
+                    seen.add(record.path_id)
+                    results.append(record)
+        return results
+
+    # -- diagnostics --------------------------------------------------------------------------
+
+    def cell_statistics(self) -> Dict[str, float]:
+        """Grid occupancy aggregated over every shard's local grid."""
+        occupied = 0
+        total = 0
+        max_entries = 0
+        entry_sum = 0.0
+        for shard in self._router.shards:
+            stats = shard.index.cell_statistics()
+            occupied += int(stats["occupied_cells"])
+            total += int(stats["total_cells"])
+            max_entries = max(max_entries, int(stats["max_entries_per_cell"]))
+            entry_sum += stats["mean_entries_per_occupied_cell"] * stats["occupied_cells"]
+        return {
+            "occupied_cells": occupied,
+            "total_cells": total,
+            "max_entries_per_cell": max_entries,
+            "mean_entries_per_occupied_cell": entry_sum / occupied if occupied else 0.0,
+        }
+
+
+class ShardedHotnessTracker:
+    """Hotness facade over the per-shard trackers.
+
+    Crossings are recorded with the shard owning the path; the epoch-boundary
+    :meth:`advance_time` performs the deferred drain of every shard's expiry
+    heap in one sweep and returns the union of vanished paths.
+    """
+
+    def __init__(self, router: "ShardRouter", window: int) -> None:
+        self._router = router
+        self.window = window
+
+    def record_crossing(self, path_id: int, t_end: int) -> int:
+        shard = self._router.owners.get(path_id)
+        if shard is None:
+            raise CoordinatorError(f"cannot record crossing of unknown path {path_id}")
+        return shard.hotness.record_crossing(path_id, t_end)
+
+    def advance_time(self, now: int) -> List[int]:
+        vanished: List[int] = []
+        for shard in self._router.shards:
+            vanished.extend(shard.hotness.advance_time(now))
+        return vanished
+
+    def hotness(self, path_id: int) -> int:
+        shard = self._router.owners.get(path_id)
+        return shard.hotness.hotness(path_id) if shard is not None else 0
+
+    def __contains__(self, path_id: int) -> bool:
+        shard = self._router.owners.get(path_id)
+        return shard is not None and path_id in shard.hotness
+
+    def __len__(self) -> int:
+        return sum(len(shard.hotness) for shard in self._router.shards)
+
+    @property
+    def pending_events(self) -> int:
+        return sum(shard.hotness.pending_events for shard in self._router.shards)
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        return chain.from_iterable(shard.hotness.items() for shard in self._router.shards)
+
+    def total_crossings(self) -> int:
+        return sum(shard.hotness.total_crossings() for shard in self._router.shards)
+
+
+class ShardedSinglePath:
+    """Batched SinglePath epoch pipeline over the shard fleet.
+
+    Drop-in replacement for :meth:`SinglePathStrategy.process_epoch`: the
+    intake is grouped by shard and candidate generation runs as one pass per
+    shard, while the decision stage replays global submission order so the
+    outcome is identical to the single-shard strategy.
+    """
+
+    def __init__(self, router: "ShardRouter") -> None:
+        self._router = router
+
+    def process_epoch(self, states: Sequence[ObjectState]) -> SinglePathEpochResult:
+        result = SinglePathEpochResult()
+        if not states:
+            return result
+        router = self._router
+
+        # Stage 1: group the batch by owning shard — one dict operation per
+        # message — and collect the FSAs for the epoch's overlap structure.
+        routed: List[Tuple[ObjectState, Shard]] = []
+        buckets: Dict[int, List[Tuple[int, ObjectState]]] = {}
+        fsas: Dict[int, Rectangle] = {}
+        for position, state in enumerate(states):
+            shard = router.shard_of(state.start)
+            routed.append((state, shard))
+            buckets.setdefault(shard.shard_id, []).append((position, state))
+            fsas[state.object_id] = state.fsa
+
+        # Stage 2: per-shard candidate generation, one pass over each bucket.
+        # Candidate paths start at the object's SSA start, which the bucket's
+        # shard owns, so no cross-shard traffic happens here.  The per-object
+        # dict is rebuilt in submission order afterwards: when one object
+        # reports twice in an epoch the single-shard strategy keeps the later
+        # state's candidates, and bucket order must not change which one wins.
+        per_state: List[Optional[List[CandidatePath]]] = [None] * len(states)
+        for shard_id, bucket in buckets.items():
+            strategy = router.shards[shard_id].strategy
+            for position, state in bucket:
+                per_state[position] = strategy.candidate_paths(state)
+        candidate_paths: Dict[int, List[CandidatePath]] = {}
+        for position, state in enumerate(states):
+            candidate_paths[state.object_id] = per_state[position]
+        overlaps = FsaOverlapStructure.build(fsas)
+        apply_co_occurrence_boost(candidate_paths)
+
+        # Stage 3: decisions in global submission order.  Sequential order is
+        # what makes the pipeline exact: within an epoch, later objects see
+        # the paths and crossings earlier objects produced, exactly as the
+        # single-shard strategy interleaves them.
+        for state, shard in routed:
+            result.tally(
+                shard.strategy.decide(state, candidate_paths[state.object_id], overlaps)
+            )
+        return result
+
+
+class ShardRouter:
+    """Owner of the shard fleet: id allocation, routing and the merge views.
+
+    ``index``, ``hotness`` and ``pipeline`` expose the exact interfaces of
+    :class:`GridIndex`, :class:`HotnessTracker` and
+    :class:`SinglePathStrategy`, so the coordinator runs the same epoch loop
+    whether it holds one shard or a fleet.
+    """
+
+    def __init__(
+        self,
+        bounds: Rectangle,
+        window: int,
+        cells_per_axis: int,
+        num_shards: int,
+    ) -> None:
+        rows, cols = shard_layout(num_shards)
+        self.grid = ShardGrid(bounds, rows, cols)
+        self.global_grid_config = GridConfig(bounds, cells_per_axis)
+        # Shard grids must never be coarser than the global grid on either
+        # axis (GridConfig is square, shards may not be): divide by the
+        # smaller layout dimension so the worse axis matches the global cell
+        # size and the other gets finer.  Cells are stored sparsely, so the
+        # extra resolution costs nothing.
+        shard_cells = max(1, cells_per_axis // min(rows, cols))
+        self.owners: Dict[int, Shard] = {}
+        self._next_path_id = 0
+        self.shards: List[Shard] = []
+        for row in range(rows):
+            for col in range(cols):
+                shard_id = row * cols + col
+                sub_bounds = self.grid.sub_bounds(col, row)
+                index = GridIndex(
+                    GridConfig(sub_bounds, shard_cells), record_resolver=self._resolve
+                )
+                self.shards.append(
+                    Shard(
+                        shard_id=shard_id,
+                        col=col,
+                        row=row,
+                        bounds=sub_bounds,
+                        index=index,
+                        hotness=HotnessTracker(window),
+                        strategy=None,  # bound below, once the router views exist
+                    )
+                )
+        self.index = ShardedGridIndex(self)
+        self.hotness = ShardedHotnessTracker(self, window)
+        self.pipeline = ShardedSinglePath(self)
+        for shard in self.shards:
+            shard.strategy = SinglePathStrategy(
+                _ShardLocalView(self, shard.shard_id), self.hotness
+            )
+
+    # -- routing -----------------------------------------------------------------
+
+    def shard_of(self, point: Point) -> Shard:
+        return self.shards[self.grid.shard_id_of(point)]
+
+    def shards_overlapping(self, region: Rectangle) -> Iterator[Shard]:
+        for shard_id in self.grid.shard_ids_overlapping(region):
+            yield self.shards[shard_id]
+
+    def _resolve(self, path_id: int) -> Optional[MotionPathRecord]:
+        """Foreign-record resolver for per-shard grids (straddling end entries)."""
+        shard = self.owners.get(path_id)
+        return shard.index.get(path_id) if shard is not None else None
+
+    # -- global record lifecycle ---------------------------------------------------
+
+    def insert(self, path: MotionPath, created_at: int = 0) -> MotionPathRecord:
+        """Insert a path: global id, record with the start owner, entries per endpoint."""
+        record = MotionPathRecord(self._next_path_id, path, created_at)
+        self._next_path_id += 1
+        start_owner = self.shard_of(path.start)
+        end_owner = self.shard_of(path.end)
+        start_owner.index.register(record)
+        start_owner.index.add_entry(record, is_start=True)
+        end_owner.index.add_entry(record, is_start=False)
+        self.owners[record.path_id] = start_owner
+        return record
+
+    def delete(self, path_id: int) -> None:
+        """Remove a path's record and both endpoint entries, wherever they live."""
+        owner = self.owners.get(path_id)
+        if owner is None:
+            raise CoordinatorError(f"motion path {path_id} is not in the index")
+        record = owner.index.get(path_id)
+        self.shard_of(record.path.start).index.remove_entry(
+            path_id, record.path.start, is_start=True
+        )
+        self.shard_of(record.path.end).index.remove_entry(
+            path_id, record.path.end, is_start=False
+        )
+        owner.index.unregister(path_id)
+        del self.owners[path_id]
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    def shard_statistics(self) -> Dict[str, float]:
+        """Load-balance diagnostics: how evenly records spread over the fleet."""
+        sizes = [len(shard.index) for shard in self.shards]
+        total = sum(sizes)
+        mean = total / len(sizes) if sizes else 0.0
+        return {
+            "num_shards": len(self.shards),
+            "total_records": total,
+            "max_shard_records": max(sizes) if sizes else 0,
+            "min_shard_records": min(sizes) if sizes else 0,
+            "mean_shard_records": mean,
+        }

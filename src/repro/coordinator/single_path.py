@@ -35,7 +35,14 @@ from repro.coordinator.grid_index import GridIndex
 from repro.coordinator.hotness import HotnessTracker
 from repro.coordinator.overlaps import FsaOverlapStructure
 
-__all__ = ["CandidatePath", "CandidateVertex", "SinglePathDecision", "SinglePathStrategy"]
+__all__ = [
+    "CandidatePath",
+    "CandidateVertex",
+    "SinglePathDecision",
+    "SinglePathEpochResult",
+    "SinglePathStrategy",
+    "apply_co_occurrence_boost",
+]
 
 
 @dataclass
@@ -79,6 +86,34 @@ class SinglePathEpochResult:
     def responses(self) -> List[CoordinatorResponse]:
         return [decision.response for decision in self.decisions]
 
+    def tally(self, decision: SinglePathDecision) -> None:
+        """Append a decision and update the aggregate counters."""
+        self.decisions.append(decision)
+        if decision.reused_existing_path:
+            self.paths_reused += 1
+        else:
+            self.paths_inserted += 1
+        if decision.fabricated_vertex:
+            self.vertices_fabricated += 1
+
+
+def apply_co_occurrence_boost(candidate_paths: Dict[int, List[CandidatePath]]) -> None:
+    """Boost hotness of paths appearing in several objects' candidate sets.
+
+    Implements Lines 13-15 of Algorithm 2: each co-occurrence means another
+    reporter could also adopt the path, making it a better shared choice.  The
+    boost is a pure function of the multiset of candidate path ids, so it can
+    be applied to per-shard candidate batches merged in any order.
+    """
+    occurrences: Counter = Counter()
+    for candidates in candidate_paths.values():
+        for candidate in candidates:
+            occurrences[candidate.record.path_id] += 1
+    for candidates in candidate_paths.values():
+        for candidate in candidates:
+            extra = occurrences[candidate.record.path_id] - 1
+            candidate.hotness += extra
+
 
 class SinglePathStrategy:
     """Implementation of Algorithm 2 over a grid index and a hotness tracker."""
@@ -97,39 +132,30 @@ class SinglePathStrategy:
         candidate_paths: Dict[int, List[CandidatePath]] = {}
         fsas: Dict[int, Rectangle] = {}
         for state in states:
-            candidate_paths[state.object_id] = self._candidate_paths(state)
+            candidate_paths[state.object_id] = self.candidate_paths(state)
             fsas[state.object_id] = state.fsa
         overlaps = FsaOverlapStructure.build(fsas)
 
-        # Phase 2: boost hotness of paths that appear in several objects' candidate
-        # sets (Lines 13-15): each co-occurrence means another reporter could also
-        # adopt the path, making it a better shared choice.
-        occurrences: Counter = Counter()
-        for candidates in candidate_paths.values():
-            for candidate in candidates:
-                occurrences[candidate.record.path_id] += 1
-        for candidates in candidate_paths.values():
-            for candidate in candidates:
-                extra = occurrences[candidate.record.path_id] - 1
-                candidate.hotness += extra
+        # Phase 2: boost hotness of paths that appear in several objects'
+        # candidate sets.
+        apply_co_occurrence_boost(candidate_paths)
 
-        # Phase 3: selection per object.
+        # Phase 3: selection per object, in submission order.
         for state in states:
-            decision = self._decide(state, candidate_paths[state.object_id], overlaps)
-            result.decisions.append(decision)
-            if decision.reused_existing_path:
-                result.paths_reused += 1
-            else:
-                result.paths_inserted += 1
-            if decision.fabricated_vertex:
-                result.vertices_fabricated += 1
+            result.tally(self.decide(state, candidate_paths[state.object_id], overlaps))
         return result
 
     # -- candidate generation ------------------------------------------------------
 
-    def _candidate_paths(self, state: ObjectState) -> List[CandidatePath]:
-        """``GetCandidatePaths``: stored paths from the SSA start into the FSA."""
-        records = self._index.paths_from_into(state.start, state.fsa)
+    def candidate_paths(self, state: ObjectState) -> List[CandidatePath]:
+        """``GetCandidatePaths``: stored paths from the SSA start into the FSA.
+
+        Answered from the single grid cell holding the SSA start, so a shard
+        that owns the start vertex can compute the candidate set without
+        consulting its neighbours (every path starting at a vertex is stored
+        with the shard owning that vertex).
+        """
+        records = self._index.paths_starting_at(state.start, state.fsa)
         return [
             CandidatePath(record, self._hotness.hotness(record.path_id) + 1)
             for record in records
@@ -158,12 +184,20 @@ class SinglePathStrategy:
 
     # -- selection ---------------------------------------------------------------------
 
-    def _decide(
+    def decide(
         self,
         state: ObjectState,
         candidates: List[CandidatePath],
         overlaps: FsaOverlapStructure,
     ) -> SinglePathDecision:
+        """Choose one object's motion path given its (boosted) candidate set.
+
+        Both selection steps use total orders — ties fall back to the path id
+        or the vertex coordinates — so the outcome is independent of the order
+        in which candidates were enumerated.  That invariance is what lets a
+        sharded coordinator merge per-shard candidate batches and still make
+        bit-identical decisions (see :mod:`repro.coordinator.sharding`).
+        """
         if candidates:
             chosen = max(
                 candidates,
@@ -184,7 +218,12 @@ class SinglePathStrategy:
         vertex_candidates = self._candidate_vertices(state, overlaps)
         chosen_vertex = max(
             vertex_candidates,
-            key=lambda candidate: (candidate.hotness, not candidate.fabricated),
+            key=lambda candidate: (
+                candidate.hotness,
+                not candidate.fabricated,
+                candidate.vertex.x,
+                candidate.vertex.y,
+            ),
         )
         endpoint = chosen_vertex.vertex
         if endpoint == state.start:

@@ -130,6 +130,7 @@ def scaled_simulation_config(
     run_dp_baseline: bool = True,
     run_naive_baseline: bool = True,
     cells_per_axis: int = 64,
+    num_shards: int = 1,
     seed: int = 42,
 ) -> SimulationConfig:
     """Build a :class:`SimulationConfig` from paper defaults, scaled for Python.
@@ -158,6 +159,7 @@ def scaled_simulation_config(
         positional_error=PAPER_DEFAULTS["positional_error"],
         top_k=int(PAPER_DEFAULTS["top_k"]),
         cells_per_axis=cells_per_axis,
+        num_shards=num_shards,
         seed=seed,
         run_dp_baseline=run_dp_baseline,
         run_naive_baseline=run_naive_baseline,

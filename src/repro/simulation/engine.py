@@ -50,7 +50,9 @@ class SimulationConfig:
     ``duration`` the total number of timestamps.  ``top_k`` is the k of the
     quality metric.  ``run_dp_baseline`` / ``run_naive_baseline`` toggle the
     comparison methods (they share the measurement stream, so enabling them
-    does not perturb the main method).
+    does not perturb the main method).  ``num_shards`` partitions the
+    coordinator into a shard fleet (1 = the paper's central coordinator);
+    sharding is behaviour-identical, so results are comparable across values.
     """
 
     num_objects: int = 20000
@@ -64,6 +66,7 @@ class SimulationConfig:
     positional_error: float = 1.0
     top_k: int = 10
     cells_per_axis: int = 64
+    num_shards: int = 1
     seed: int = 42
     report_uncertainty: bool = False
     run_dp_baseline: bool = True
@@ -142,7 +145,12 @@ class HotPathSimulation:
         self.workload = MovingObjectWorkload(self.network, config.workload_config())
         bounds = self.network.bounding_box(padding=config.tolerance * 2)
         self.coordinator = Coordinator(
-            CoordinatorConfig(bounds=bounds, window=config.window, cells_per_axis=config.cells_per_axis)
+            CoordinatorConfig(
+                bounds=bounds,
+                window=config.window,
+                cells_per_axis=config.cells_per_axis,
+                num_shards=config.num_shards,
+            )
         )
         self.dp_baseline: Optional[DPHotSegmentTracker] = None
         if config.run_dp_baseline:

@@ -1,8 +1,21 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The ``slow`` marker (registered in ``pytest.ini`` alongside the ``addopts``
+that deselect it) keeps tier-1 runs fast: decorate long-running tests with
+``@pytest.mark.slow`` and opt in explicitly via ``pytest -m "slow or not
+slow"``.  The registration is repeated here so ad-hoc invocations with a
+custom ``-c`` config still know the marker.
+"""
 
 from __future__ import annotations
 
 import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test or benchmark, deselected by default"
+    )
 
 from repro.core.geometry import Point, Rectangle
 from repro.network.generator import NetworkConfig, SyntheticRoadNetworkGenerator

@@ -35,6 +35,11 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["not-a-command"])
 
+    def test_run_shards_flag(self):
+        args = build_parser().parse_args(["run", "--shards", "4"])
+        assert args.shards == 4
+        assert build_parser().parse_args(["run"]).shards == 1
+
 
 class TestRunCommand:
     def test_run_prints_summary_and_paths(self, capsys):
@@ -53,6 +58,22 @@ class TestRunCommand:
         assert "index size" in captured
         assert "message reduction vs naive" in captured
         assert "hottest motion paths" in captured
+
+    def test_run_with_shards_reports_fleet(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--objects", "60",
+                "--duration", "60",
+                "--network-nodes", "6",
+                "--area", "2000",
+                "--seed", "3",
+                "--shards", "4",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "coordinator shards: 4" in captured
 
 
 class TestFigureCommands:

@@ -104,6 +104,118 @@ class TestWindowExpiry:
         assert hotness >= 2
 
 
+class TestEpochBoundaries:
+    """Edge cases at epoch boundaries: the expiry clock and odd submit orders."""
+
+    def test_expiry_exactly_at_window_boundary(self):
+        # A crossing that ended at t=5 with W=20 schedules its decrement at
+        # t=25; the paper's window is inclusive-exclusive, so an epoch running
+        # exactly at t=25 must already expire it.
+        coordinator = make_coordinator(window=20)
+        coordinator.submit_state(
+            state(1, Point(100.0, 100.0), Point(150.0, 150.0), Point(170.0, 170.0), 0, 5)
+        )
+        coordinator.run_epoch(10)
+        outcome = coordinator.run_epoch(25)
+        assert outcome.paths_expired == 1
+        assert coordinator.index_size() == 0
+
+    def test_empty_epoch_between_active_ones(self):
+        coordinator = make_coordinator(window=50)
+        coordinator.submit_state(
+            state(1, Point(100.0, 100.0), Point(150.0, 150.0), Point(170.0, 170.0), 0, 5)
+        )
+        coordinator.run_epoch(10)
+        before = coordinator.hot_paths()
+        outcome = coordinator.run_epoch(20)
+        assert outcome.states_processed == 0
+        assert outcome.responses == []
+        assert outcome.paths_expired == 0
+        assert coordinator.hot_paths() == before
+        assert coordinator.epochs_processed == 2
+
+    def test_out_of_order_submit_timestamps(self):
+        # Two objects report within the same epoch with decreasing t_end; both
+        # must be processed, and each crossing expires by its own t_end.
+        coordinator = make_coordinator(window=20)
+        coordinator.submit_state(
+            state(1, Point(100.0, 100.0), Point(150.0, 150.0), Point(170.0, 170.0), 4, 9)
+        )
+        coordinator.submit_state(
+            state(2, Point(700.0, 700.0), Point(720.0, 720.0), Point(740.0, 740.0), 0, 3)
+        )
+        outcome = coordinator.run_epoch(10)
+        assert outcome.states_processed == 2
+        assert [r.object_id for r in outcome.responses] == [1, 2]
+        # Object 2's crossing (t_end=3) expires at 23, object 1's at 29.
+        outcome = coordinator.run_epoch(25)
+        assert outcome.paths_expired == 1
+        assert coordinator.index_size() == 1
+        outcome = coordinator.run_epoch(30)
+        assert outcome.paths_expired == 1
+        assert coordinator.index_size() == 0
+
+    def test_state_submitted_during_epoch_gap_waits_for_next_epoch(self):
+        coordinator = make_coordinator()
+        coordinator.run_epoch(10)
+        coordinator.submit_state(
+            state(1, Point(100.0, 100.0), Point(150.0, 150.0), Point(170.0, 170.0), 11, 14)
+        )
+        assert coordinator.pending_states == 1
+        outcome = coordinator.run_epoch(20)
+        assert outcome.states_processed == 1
+        assert coordinator.pending_states == 0
+
+
+class TestShardedCoordinatorSurface:
+    """The sharded coordinator exposes the same protocol surface."""
+
+    def _sharded(self, num_shards: int = 4) -> Coordinator:
+        return Coordinator(
+            CoordinatorConfig(bounds=BOUNDS, window=50, cells_per_axis=16, num_shards=num_shards)
+        )
+
+    def test_invalid_num_shards(self):
+        with pytest.raises(ConfigurationError):
+            CoordinatorConfig(bounds=BOUNDS, num_shards=0)
+
+    def test_sharded_epoch_round_trip(self):
+        coordinator = self._sharded()
+        # One object per 2x2 shard, plus one whose FSA straddles the centre.
+        for object_id, (x, y) in enumerate(
+            [(100.0, 100.0), (900.0, 100.0), (100.0, 900.0), (900.0, 900.0), (480.0, 480.0)]
+        ):
+            coordinator.submit_state(
+                state(object_id, Point(x, y), Point(x + 40.0, y + 40.0), Point(x + 80.0, y + 80.0), 0, 8)
+            )
+        outcome = coordinator.run_epoch(10)
+        assert outcome.states_processed == 5
+        assert len(outcome.responses) == 5
+        assert coordinator.index_size() == len(list(coordinator.index.records))
+        stats = coordinator.shard_statistics()
+        assert stats["num_shards"] == 4
+        assert stats["total_records"] == coordinator.index_size()
+
+    def test_sharded_expiry_drains_all_shards(self):
+        coordinator = self._sharded()
+        for object_id, (x, y) in enumerate([(100.0, 100.0), (900.0, 900.0)]):
+            coordinator.submit_state(
+                state(object_id, Point(x, y), Point(x + 40.0, y + 40.0), Point(x + 60.0, y + 60.0), 0, 5)
+            )
+        coordinator.run_epoch(10)
+        assert coordinator.index_size() == 2
+        outcome = coordinator.run_epoch(60)
+        assert outcome.paths_expired == 2
+        assert coordinator.index_size() == 0
+        assert coordinator.hotness.pending_events == 0
+
+    def test_single_shard_statistics_fallback(self):
+        coordinator = make_coordinator()
+        stats = coordinator.shard_statistics()
+        assert stats["num_shards"] == 1
+        assert stats["total_records"] == coordinator.index_size()
+
+
 class TestTopK:
     def _populate(self, coordinator: Coordinator) -> None:
         # Three objects share a start and a long FSA; one object goes elsewhere.

@@ -66,6 +66,57 @@ class TestInsertionAndDeletion:
         assert len(list(index.records)) == 2
 
 
+class TestSameCellEndpoints:
+    """Regressions for paths whose two endpoints share one grid cell.
+
+    The former cell layout keyed entries by path id alone, so a same-cell
+    path's start entry was overwritten by its end entry and the two-pass
+    delete could drop the cell while re-deriving its key.  Entries are now
+    keyed by ``(path_id, is_start)``; these tests pin the fixed behaviour.
+    """
+
+    def test_same_cell_path_keeps_both_entries(self, index):
+        # 1000/16 = 62.5 per cell: both endpoints land in cell (0, 0).
+        record = index.insert(MotionPath(Point(10.0, 10.0), Point(40.0, 40.0)))
+        region = Rectangle(Point(0.0, 0.0), Point(20.0, 20.0))
+        # The region covers only the start; the path must still be found via
+        # its start entry (lost entirely before the fix).
+        assert [r.path_id for r in index.paths_intersecting(region)] == [record.path_id]
+
+    def test_same_cell_path_deletes_cleanly(self, index):
+        record = index.insert(MotionPath(Point(10.0, 10.0), Point(40.0, 40.0)))
+        index.delete(record.path_id)
+        assert len(index) == 0
+        assert index._cells == {}
+
+    def test_same_cell_delete_keeps_neighbours(self, index):
+        doomed = index.insert(MotionPath(Point(10.0, 10.0), Point(40.0, 40.0)))
+        kept = index.insert(MotionPath(Point(20.0, 20.0), Point(30.0, 30.0)))
+        index.delete(doomed.path_id)
+        everywhere = Rectangle(Point(0.0, 0.0), Point(1000.0, 1000.0))
+        assert [r.path_id for r in index.paths_intersecting(everywhere)] == [kept.path_id]
+        assert index.paths_starting_at(Point(20.0, 20.0), everywhere)[0].path_id == kept.path_id
+
+    def test_clamped_endpoints_share_border_cell_and_delete(self, index):
+        # Both endpoints are outside the bounds and clamp into the same
+        # top-right border cell; insert, query and delete must all agree.
+        record = index.insert(MotionPath(Point(1100.0, 1100.0), Point(1500.0, 1200.0)))
+        region = Rectangle(Point(990.0, 990.0), Point(2000.0, 2000.0))
+        assert [r.path_id for r in index.paths_intersecting(region)] == [record.path_id]
+        assert Point(1500.0, 1200.0) in index.end_vertices_in(region)
+        index.delete(record.path_id)
+        assert len(index) == 0
+        assert index._cells == {}
+
+    def test_zero_length_path_round_trips(self, index):
+        point = Point(10.0, 10.0)
+        record = index.insert(MotionPath(point, point))
+        everywhere = Rectangle(Point(0.0, 0.0), Point(1000.0, 1000.0))
+        assert [r.path_id for r in index.paths_from_into(point, everywhere)] == [record.path_id]
+        index.delete(record.path_id)
+        assert index._cells == {}
+
+
 class TestQueries:
     def test_paths_from_into_matches_start_and_region(self, index):
         start = Point(100.0, 100.0)

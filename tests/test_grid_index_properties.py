@@ -1,0 +1,154 @@
+"""Property-based tests for :mod:`repro.coordinator.grid_index`.
+
+Random insert/delete/query sequences run against a brute-force reference
+index (a flat list of records with exact-geometry predicates).  Coordinates
+are drawn from a small pool spanning inside, on-the-border and outside the
+grid bounds, so the sequences routinely produce duplicate endpoints, paths
+with both endpoints in one cell and points clamped into border cells — the
+configurations behind historical delete bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.geometry import Point, Rectangle
+from repro.core.motion_path import MotionPath, MotionPathRecord
+from repro.coordinator.grid_index import GridConfig, GridIndex
+
+BOUNDS = Rectangle(Point(0.0, 0.0), Point(100.0, 100.0))
+
+# Deliberately coarse coordinate pool: values collide (duplicate endpoints),
+# sit exactly on cell borders (12.5 with 8 cells per axis) and fall outside
+# the bounds (clamped into border cells).
+coordinate_pool = st.sampled_from(
+    [-30.0, -1.0, 0.0, 3.0, 12.5, 25.0, 49.9, 50.0, 62.5, 99.0, 100.0, 130.0]
+)
+pool_points = st.builds(Point, coordinate_pool, coordinate_pool)
+
+
+@st.composite
+def regions(draw) -> Rectangle:
+    """Query rectangles: degenerate, empty-region and cross-border shapes."""
+    a = draw(pool_points)
+    b = draw(pool_points)
+    return Rectangle.bounding(a, b)
+
+
+@st.composite
+def operations(draw) -> List[Tuple[str, object]]:
+    """A random op sequence: (insert path) | (delete nth live path)."""
+    ops = []
+    live = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=25))):
+        if live and draw(st.booleans()) and draw(st.booleans()):
+            ops.append(("delete", draw(st.integers(min_value=0, max_value=live - 1))))
+            live -= 1
+        else:
+            ops.append(("insert", MotionPath(draw(pool_points), draw(pool_points))))
+            live += 1
+    return ops
+
+
+class ReferenceIndex:
+    """Brute-force reference: a list of records, exact geometry everywhere."""
+
+    def __init__(self) -> None:
+        self.records: Dict[int, MotionPathRecord] = {}
+
+    def insert(self, record: MotionPathRecord) -> None:
+        self.records[record.path_id] = record
+
+    def delete(self, path_id: int) -> None:
+        del self.records[path_id]
+
+    def paths_from_into(self, start: Point, region: Rectangle) -> List[int]:
+        return sorted(
+            r.path_id
+            for r in self.records.values()
+            if r.path.start == start and region.contains_point(r.path.end)
+        )
+
+    def end_vertices_in(self, region: Rectangle) -> Dict[Tuple[float, float], List[int]]:
+        vertices: Dict[Tuple[float, float], List[int]] = {}
+        for r in self.records.values():
+            if region.contains_point(r.path.end):
+                vertices.setdefault(r.path.end.as_tuple(), []).append(r.path_id)
+        return {vertex: sorted(ids) for vertex, ids in vertices.items()}
+
+    def paths_intersecting(self, region: Rectangle) -> List[int]:
+        return sorted(
+            r.path_id
+            for r in self.records.values()
+            if region.contains_point(r.path.start) or region.contains_point(r.path.end)
+        )
+
+
+def build_both(ops) -> Tuple[GridIndex, ReferenceIndex]:
+    index = GridIndex(GridConfig(BOUNDS, cells_per_axis=8))
+    reference = ReferenceIndex()
+    live: List[int] = []
+    for op, payload in ops:
+        if op == "insert":
+            record = index.insert(payload)
+            reference.insert(record)
+            live.append(record.path_id)
+        else:
+            path_id = live.pop(payload)
+            index.delete(path_id)
+            reference.delete(path_id)
+    return index, reference
+
+
+class TestAgainstReference:
+    @settings(max_examples=60, deadline=None)
+    @given(operations())
+    def test_membership_and_size(self, ops):
+        index, reference = build_both(ops)
+        assert len(index) == len(reference.records)
+        for path_id, record in reference.records.items():
+            assert path_id in index
+            assert index.get(path_id).path == record.path
+
+    @settings(max_examples=60, deadline=None)
+    @given(operations(), pool_points, regions())
+    def test_paths_from_into_matches_reference(self, ops, start, region):
+        index, reference = build_both(ops)
+        result = sorted(r.path_id for r in index.paths_from_into(start, region))
+        assert result == reference.paths_from_into(start, region)
+
+    @settings(max_examples=60, deadline=None)
+    @given(operations(), pool_points, regions())
+    def test_paths_starting_at_matches_paths_from_into(self, ops, start, region):
+        index, reference = build_both(ops)
+        by_start_cell = sorted(r.path_id for r in index.paths_starting_at(start, region))
+        assert by_start_cell == reference.paths_from_into(start, region)
+
+    @settings(max_examples=60, deadline=None)
+    @given(operations(), regions())
+    def test_end_vertices_matches_reference(self, ops, region):
+        index, reference = build_both(ops)
+        result = {
+            vertex.as_tuple(): sorted(ids)
+            for vertex, ids in index.end_vertices_in(region).items()
+        }
+        assert result == reference.end_vertices_in(region)
+
+    @settings(max_examples=60, deadline=None)
+    @given(operations(), regions())
+    def test_paths_intersecting_matches_reference(self, ops, region):
+        index, reference = build_both(ops)
+        result = sorted(r.path_id for r in index.paths_intersecting(region))
+        assert result == reference.paths_intersecting(region)
+
+    @settings(max_examples=40, deadline=None)
+    @given(operations())
+    def test_deleting_everything_empties_the_cells(self, ops):
+        index, reference = build_both(ops)
+        for path_id in list(reference.records):
+            index.delete(path_id)
+        assert len(index) == 0
+        # No stale entries may survive: the cell table must be empty too.
+        assert index._cells == {}

@@ -1,0 +1,208 @@
+"""Differential harness: sharded coordinators must match the seed coordinator.
+
+Two layers of scenarios drive a single-shard coordinator (the seed
+architecture) and sharded fleets (2x2 and 4x4) with the *same* inputs:
+
+* synthetic state-message streams crafted to stress shard boundaries
+  (shared start vertices, FSAs straddling shard borders, endpoints exactly on
+  borders, points outside the monitored area, out-of-order timestamps);
+* full end-to-end simulations over several seeds and workload shapes.
+
+Equality is asserted bit-for-bit at every epoch: the responses sent back to
+objects, the bookkeeping counters, the full index contents (ids, geometry,
+creation times), the hotness table and the top-k under both rankings.  Any
+divergence — an approximate merge, a non-deterministic tie-break, a missed
+cross-shard path — fails the suite.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.geometry import Point, Rectangle
+from repro.client.state import ObjectState
+from repro.coordinator.coordinator import Coordinator, CoordinatorConfig
+from repro.coordinator.grid_index import GridIndex
+from repro.coordinator.hotness import HotnessTracker
+from repro.coordinator.sharding import ShardRouter, ShardedSinglePath
+from repro.coordinator.single_path import SinglePathStrategy
+from repro.network.generator import NetworkConfig
+from repro.simulation.engine import HotPathSimulation, SimulationConfig
+
+BOUNDS = Rectangle(Point(0.0, 0.0), Point(1000.0, 1000.0))
+SHARD_COUNTS = (4, 16)  # 2x2 and 4x4
+
+
+def make_coordinator(num_shards: int, window: int = 60) -> Coordinator:
+    return Coordinator(
+        CoordinatorConfig(
+            bounds=BOUNDS, window=window, cells_per_axis=32, num_shards=num_shards
+        )
+    )
+
+
+def index_snapshot(coordinator: Coordinator) -> Dict:
+    """Canonical, order-independent snapshot of all coordinator state."""
+    records = sorted(
+        (record.path_id, record.path.start.as_tuple(), record.path.end.as_tuple(), record.created_at)
+        for record in coordinator.index.records
+    )
+    return {
+        "size": coordinator.index_size(),
+        "records": records,
+        "hotness": sorted(coordinator.hotness.items()),
+        "pending_events": coordinator.hotness.pending_events,
+        "top_k_hotness": coordinator.top_k(10),
+        "top_k_score": coordinator.top_k(10, by_score=True),
+        "top_k_score_value": coordinator.top_k_score(10),
+    }
+
+
+def synthetic_stream(seed: int, epochs: int = 8, per_epoch: int = 30) -> List[Tuple[int, List[ObjectState]]]:
+    """A seeded state-message stream engineered to stress shard boundaries.
+
+    Start vertices are drawn from a small pool that includes points exactly on
+    the 2x2 and 4x4 shard borders (x or y in {250, 500, 750}) and points
+    outside the monitored area; FSAs are large enough to straddle borders and
+    end timestamps are emitted out of submission order.
+    """
+    rng = random.Random(seed)
+    start_pool = [
+        Point(rng.uniform(-50.0, 1050.0), rng.uniform(-50.0, 1050.0)) for _ in range(12)
+    ]
+    start_pool += [
+        Point(500.0, 300.0),  # on the 2x2 vertical border
+        Point(250.0, 750.0),  # on 4x4 borders
+        Point(500.0, 500.0),  # the exact centre, corner of all four 2x2 shards
+        Point(-20.0, 500.0),  # clamped into a border shard
+    ]
+    stream = []
+    for epoch in range(1, epochs + 1):
+        boundary = epoch * 10
+        states = []
+        for i in range(per_epoch):
+            object_id = rng.randrange(per_epoch * 2)
+            start = rng.choice(start_pool)
+            half = rng.uniform(5.0, 120.0)
+            centre = Point(
+                start.x + rng.uniform(-200.0, 200.0),
+                start.y + rng.uniform(-200.0, 200.0),
+            )
+            fsa = Rectangle.from_center(centre, half)
+            t_end = boundary - rng.randrange(10)  # deliberately out of order
+            states.append(
+                ObjectState(object_id, start, max(0, t_end - 5), fsa.low, fsa.high, t_end)
+            )
+        stream.append((boundary, states))
+    return stream
+
+
+def drive(coordinator: Coordinator, stream) -> List[Dict]:
+    """Feed the stream epoch by epoch, snapshotting after every epoch."""
+    trace = []
+    for boundary, states in stream:
+        for state in states:
+            coordinator.submit_state(state)
+        outcome = coordinator.run_epoch(boundary)
+        trace.append(
+            {
+                "responses": outcome.responses,
+                "states_processed": outcome.states_processed,
+                "paths_inserted": outcome.paths_inserted,
+                "paths_reused": outcome.paths_reused,
+                "paths_expired": outcome.paths_expired,
+                "snapshot": index_snapshot(coordinator),
+            }
+        )
+    return trace
+
+
+class TestSeedEquivalence:
+    """``num_shards=1`` must be the seed architecture, bit for bit."""
+
+    def test_single_shard_uses_seed_structures(self):
+        coordinator = make_coordinator(1)
+        assert coordinator.router is None
+        assert isinstance(coordinator.index, GridIndex)
+        assert isinstance(coordinator.hotness, HotnessTracker)
+        assert isinstance(coordinator.strategy, SinglePathStrategy)
+
+    @pytest.mark.parametrize("seed", [3, 11, 42])
+    def test_single_shard_is_deterministic(self, seed):
+        stream = synthetic_stream(seed)
+        assert drive(make_coordinator(1), stream) == drive(make_coordinator(1), stream)
+
+
+class TestStreamDifferential:
+    """Sharded fleets replayed against the seed coordinator, epoch by epoch."""
+
+    @pytest.mark.parametrize("seed", [3, 11, 42, 1234])
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_sharded_trace_matches_seed(self, num_shards, seed):
+        stream = synthetic_stream(seed)
+        seed_trace = drive(make_coordinator(1), stream)
+        sharded_trace = drive(make_coordinator(num_shards), stream)
+        for epoch, (expected, actual) in enumerate(zip(seed_trace, sharded_trace)):
+            assert actual == expected, f"divergence at epoch {epoch}"
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_sharded_coordinator_really_shards(self, num_shards):
+        coordinator = make_coordinator(num_shards)
+        assert isinstance(coordinator.router, ShardRouter)
+        assert isinstance(coordinator.strategy, ShardedSinglePath)
+        drive(coordinator, synthetic_stream(7))
+        stats = coordinator.shard_statistics()
+        assert stats["num_shards"] == num_shards
+        assert stats["total_records"] == coordinator.index_size()
+        # The stream spreads over the whole area, so several shards own paths.
+        assert stats["max_shard_records"] < stats["total_records"]
+
+
+class TestSimulationDifferential:
+    """End-to-end simulations: same workload, different shard counts."""
+
+    WORKLOADS = {
+        "default": dict(num_objects=70, duration=80, agility=0.1),
+        "agile": dict(num_objects=50, duration=70, agility=0.4),
+        "dense": dict(num_objects=110, duration=60, agility=0.1),
+    }
+
+    @staticmethod
+    def _run(num_shards: int, seed: int, workload: str):
+        params = TestSimulationDifferential.WORKLOADS[workload]
+        config = SimulationConfig(
+            tolerance=10.0,
+            window=50,
+            epoch_length=10,
+            num_shards=num_shards,
+            seed=seed,
+            network_config=NetworkConfig(area_size=2000.0, grid_nodes_per_axis=6, seed=seed),
+            run_dp_baseline=False,
+            run_naive_baseline=False,
+            **params,
+        )
+        return HotPathSimulation(config).run()
+
+    @pytest.mark.parametrize("seed,workload", [(3, "default"), (9, "agile"), (21, "dense")])
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_simulation_matches_seed(self, num_shards, seed, workload):
+        baseline = self._run(1, seed, workload)
+        sharded = self._run(num_shards, seed, workload)
+
+        assert index_snapshot(sharded.coordinator) == index_snapshot(baseline.coordinator)
+        assert sharded.top_k_paths() == baseline.top_k_paths()
+        assert sharded.top_k_score() == baseline.top_k_score()
+
+        # The per-epoch series must agree too, not just the final state
+        # (processing time is the one field allowed to differ).
+        for expected, actual in zip(baseline.metrics.epochs, sharded.metrics.epochs):
+            assert actual.timestamp == expected.timestamp
+            assert actual.index_size == expected.index_size
+            assert actual.top_k_score == expected.top_k_score
+            assert actual.states_processed == expected.states_processed
+            assert actual.paths_inserted == expected.paths_inserted
+            assert actual.paths_reused == expected.paths_reused
+            assert actual.paths_expired == expected.paths_expired
