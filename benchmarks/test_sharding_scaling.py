@@ -1,16 +1,26 @@
-"""Sharding benchmark — coordinator scale-out across shard counts.
+"""Sharding benchmark — coordinator scale-out across shard counts and backends.
 
-Runs the same scaled workload against a single-shard coordinator and against
-2x2 and 4x4 shard fleets.  Sharding is behaviour-identical by construction
-(see ``tests/test_sharding_equivalence.py``), so the benchmark asserts the
-discovered top-k is bit-for-bit equal across shard counts and records the
-per-epoch coordinator time plus the fleet's load balance.  On a single Python
-process the fleet pays a small routing overhead; the numbers here are the
-baseline for the async-shard-worker follow-on, where per-shard passes run in
-parallel.
+Runs the same scaled workload against a single-shard coordinator, against 2x2
+and 4x4 shard fleets, and against the fleet on every execution backend
+(``serial``, ``threads``, ``processes``).  Sharding and the backends are
+behaviour-identical by construction (see ``tests/test_sharding_equivalence.py``),
+so the benchmark asserts the discovered top-k is bit-for-bit equal across every
+combination and records the per-epoch coordinator time, the fleet's load
+balance and the per-backend speedup over the serial pipeline.
+
+Interpreting the backend table: candidate passes fan out per shard and
+decisions commit per conflict group, so available parallelism is bounded by
+the group structure of each epoch and the machine's cores (the table records
+both).  On standard CPython the GIL caps the ``threads`` backend at serial
+throughput regardless of cores — it is measured as the coordination-overhead
+baseline and for free-threaded builds; ``processes`` is the backend that can
+win on multi-core hardware, and on a single-core container both show their
+overhead rather than a speedup.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -18,12 +28,15 @@ from repro.experiments.config import scaled_simulation_config
 from repro.simulation.engine import HotPathSimulation
 
 SHARD_COUNTS = (1, 4, 16)
+BACKENDS = ("serial", "threads", "processes")
+BACKEND_SHARD_COUNTS = (4, 16)
 
 
-def _run(num_shards, experiment_scale):
+def _run(num_shards, experiment_scale, backend="serial"):
     config = scaled_simulation_config(
         scale=experiment_scale,
         num_shards=num_shards,
+        backend=backend,
         run_dp_baseline=False,
         run_naive_baseline=False,
     )
@@ -32,18 +45,27 @@ def _run(num_shards, experiment_scale):
 
 @pytest.mark.benchmark(group="sharding")
 def test_sharding_scaling(benchmark, experiment_scale, record_result):
-    results = benchmark.pedantic(
-        lambda: {n: _run(n, experiment_scale) for n in SHARD_COUNTS},
-        rounds=1,
-        iterations=1,
-    )
+    shard_results = {}
+    backend_results = {}
+
+    def run_all():
+        for num_shards in SHARD_COUNTS:
+            shard_results[num_shards] = _run(num_shards, experiment_scale)
+        for num_shards in BACKEND_SHARD_COUNTS:
+            for backend in BACKENDS[1:]:
+                backend_results[(num_shards, backend)] = _run(
+                    num_shards, experiment_scale, backend
+                )
+        return shard_results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     header = (
         f"{'shards':>7} {'time/epoch s':>14} {'index size':>12} "
         f"{'top-k score':>12} {'max/mean shard load':>20}"
     )
     lines = [header, "-" * len(header)]
-    for num_shards, result in results.items():
+    for num_shards, result in shard_results.items():
         summary = result.summary()
         stats = result.coordinator.shard_statistics()
         balance = (
@@ -56,15 +78,38 @@ def test_sharding_scaling(benchmark, experiment_scale, record_result):
             f"{summary['final_index_size']:>12.0f} {summary['mean_top_k_score']:>12.1f} "
             f"{balance:>20.2f}"
         )
+
+    # Backend comparison: serial vs worker-pool pipelines on the same fleet.
+    lines.append("")
+    lines.append(f"backend comparison (cpu cores: {os.cpu_count()})")
+    backend_header = (
+        f"{'shards':>7} {'backend':>10} {'time/epoch s':>14} {'speedup vs serial':>18}"
+    )
+    lines.append(backend_header)
+    lines.append("-" * len(backend_header))
+    for num_shards in BACKEND_SHARD_COUNTS:
+        serial_time = shard_results[num_shards].summary()["mean_processing_seconds"]
+        lines.append(f"{num_shards:>7d} {'serial':>10} {serial_time:>14.4f} {1.0:>18.2f}")
+        for backend in BACKENDS[1:]:
+            summary = backend_results[(num_shards, backend)].summary()
+            backend_time = summary["mean_processing_seconds"]
+            speedup = serial_time / backend_time if backend_time else 0.0
+            lines.append(
+                f"{num_shards:>7d} {backend:>10} {backend_time:>14.4f} {speedup:>18.2f}"
+            )
     record_result("sharding_scaling", "\n".join(lines))
 
-    # Scale-out must never change the answer: identical top-k everywhere.
-    baseline = results[1]
+    # Scale-out must never change the answer: identical top-k everywhere,
+    # for every shard count and every backend.
+    baseline = shard_results[1]
     for num_shards in SHARD_COUNTS[1:]:
-        assert results[num_shards].top_k_paths() == baseline.top_k_paths()
-        assert results[num_shards].top_k_score() == baseline.top_k_score()
+        assert shard_results[num_shards].top_k_paths() == baseline.top_k_paths()
+        assert shard_results[num_shards].top_k_score() == baseline.top_k_score()
+    for result in backend_results.values():
+        assert result.top_k_paths() == baseline.top_k_paths()
+        assert result.top_k_score() == baseline.top_k_score()
     # The fleet actually spreads the load over several shards.
-    stats = results[16].coordinator.shard_statistics()
+    stats = shard_results[16].coordinator.shard_statistics()
     assert stats["num_shards"] == 16
     if stats["total_records"]:
         assert stats["max_shard_records"] < stats["total_records"]
@@ -73,8 +118,14 @@ def test_sharding_scaling(benchmark, experiment_scale, record_result):
 @pytest.mark.slow
 @pytest.mark.benchmark(group="sharding")
 def test_sharding_scaling_large_population(benchmark, experiment_scale, record_result):
-    """Heavier differential run (4x the scaled population); opt in via -m slow."""
+    """Heavier differential run (4x the scaled population); opt in via -m slow.
+
+    Covers every backend on the 4x4 fleet as well — the larger epochs amortise
+    pool coordination, so this is the configuration where multi-core machines
+    show the candidate-pass and conflict-group parallelism most clearly.
+    """
     results = {}
+    backend_results = {}
 
     def run_all():
         for num_shards in SHARD_COUNTS:
@@ -86,6 +137,16 @@ def test_sharding_scaling_large_population(benchmark, experiment_scale, record_r
                 run_naive_baseline=False,
             )
             results[num_shards] = HotPathSimulation(sharded).run()
+        for backend in BACKENDS[1:]:
+            sharded = scaled_simulation_config(
+                scale=experiment_scale,
+                num_objects=80000,
+                num_shards=16,
+                backend=backend,
+                run_dp_baseline=False,
+                run_naive_baseline=False,
+            )
+            backend_results[backend] = HotPathSimulation(sharded).run()
         return results
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
@@ -94,6 +155,16 @@ def test_sharding_scaling_large_population(benchmark, experiment_scale, record_r
         f"index={r.summary()['final_index_size']:.0f}"
         for n, r in results.items()
     ]
+    serial_time = results[16].summary()["mean_processing_seconds"]
+    for backend, result in backend_results.items():
+        backend_time = result.summary()["mean_processing_seconds"]
+        speedup = serial_time / backend_time if backend_time else 0.0
+        lines.append(
+            f"shards=16 backend={backend} time/epoch={backend_time:.4f}s "
+            f"speedup={speedup:.2f} (cores={os.cpu_count()})"
+        )
     record_result("sharding_scaling_large", "\n".join(lines))
     for num_shards in SHARD_COUNTS[1:]:
         assert results[num_shards].top_k_paths() == results[1].top_k_paths()
+    for result in backend_results.values():
+        assert result.top_k_paths() == results[1].top_k_paths()

@@ -22,6 +22,7 @@ from repro.core.geometry import Rectangle
 from repro.core.motion_path import MotionPathRecord
 from repro.core.scoring import ScoredPath, select_top_k, top_k_score
 from repro.client.state import CoordinatorResponse, ObjectState
+from repro.coordinator.execution import BACKEND_NAMES
 from repro.coordinator.grid_index import GridConfig, GridIndex
 from repro.coordinator.hotness import HotnessTracker
 from repro.coordinator.sharding import ShardRouter
@@ -38,19 +39,28 @@ class CoordinatorConfig:
     the monitored area used to size the grid index; ``cells_per_axis`` sets the
     grid resolution.  ``num_shards`` partitions the area into an R x C shard
     grid (see :mod:`repro.coordinator.sharding`); the default of 1 keeps the
-    single-shard structures of the paper.
+    single-shard structures of the paper.  ``backend`` selects how a sharded
+    fleet executes its epoch pipeline — ``serial``, ``threads`` or
+    ``processes`` (see :mod:`repro.coordinator.execution`); every backend is
+    bit-for-bit equivalent.  A single-shard coordinator always runs the
+    paper's inline strategy and ignores the backend.
     """
 
     bounds: Rectangle
     window: int = 100
     cells_per_axis: int = 64
     num_shards: int = 1
+    backend: str = "serial"
 
     def __post_init__(self) -> None:
         if self.window <= 0:
             raise ConfigurationError(f"window must be positive, got {self.window}")
         if self.num_shards <= 0:
             raise ConfigurationError(f"num_shards must be positive, got {self.num_shards}")
+        if self.backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"backend must be one of {', '.join(BACKEND_NAMES)}, got {self.backend!r}"
+            )
 
 
 @dataclass
@@ -81,7 +91,11 @@ class Coordinator:
             # SinglePathStrategy interfaces, so the epoch loop below is the
             # same code whether the state lives in one shard or a fleet.
             self.router = ShardRouter(
-                config.bounds, config.window, config.cells_per_axis, config.num_shards
+                config.bounds,
+                config.window,
+                config.cells_per_axis,
+                config.num_shards,
+                backend=config.backend,
             )
             self.index = self.router.index
             self.hotness = self.router.hotness
@@ -89,6 +103,17 @@ class Coordinator:
         self._pending_states: List[ObjectState] = []
         self._epochs_processed = 0
         self._total_processing_seconds = 0.0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the execution backend's worker pool, if any.
+
+        Queries (``top_k``, ``hot_paths`` …) remain valid after closing; a
+        subsequent ``run_epoch`` lazily revives the pool.
+        """
+        if self.router is not None:
+            self.router.pipeline.close()
 
     # -- intake ---------------------------------------------------------------
 

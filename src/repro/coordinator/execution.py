@@ -1,0 +1,566 @@
+"""Execution backends for the sharded epoch pipeline, and conflict grouping.
+
+:class:`~repro.coordinator.sharding.ShardedSinglePath` splits an epoch into a
+*candidate stage* (per-shard, read-only) and a *decision stage* (mutating).
+This module provides the worker-pool machinery that runs both stages
+concurrently without giving up the bit-for-bit exactness contract of
+``tests/test_sharding_equivalence.py``:
+
+* :class:`SerialBackend` — the reference pipeline: every pass runs inline on
+  the calling thread, decisions replay global submission order directly.
+* :class:`ThreadBackend` — per-shard candidate passes are submitted to a
+  thread pool; decisions commit concurrently, one thread per conflict group.
+* :class:`ProcessBackend` — candidate passes run in persistent worker
+  processes, each holding a replica of every shard's start-entry grid index
+  kept in sync through the router's mutation journal; decisions commit on an
+  in-process thread pool (index mutations must happen where the authoritative
+  state lives).
+
+**Conflict groups.**  The decision stage of Algorithm 2 is sequential: within
+an epoch, later objects observe the paths and crossings earlier objects
+produced.  :func:`conflict_groups` partitions the epoch's states so that this
+ordering only has to be enforced *within* a group.  The *shard footprint* of a
+state is the shard owning its SSA start plus every shard its FSA overlaps;
+two states conflict when their footprints intersect (or when they carry the
+same object id, because duplicate reporters share one candidate set).  Groups
+are the connected components of the conflict relation, computed with a
+union-find over shard ids.
+
+**Correctness argument** (why replaying submission order inside each group is
+exactly equivalent to replaying it globally): every read and write a decision
+performs stays inside the *connected component's* shard set — the union of
+its member footprints.  A key lemma covers the one endpoint that can leave
+the deciding state's own footprint: the Case 3 fabricated vertex is the
+centroid of an overlap region that *intersects* the state's FSA, and that
+centroid may lie outside the FSA (``candidate_vertex_for`` deliberately uses
+the region's own centroid so co-reporters converge on one vertex).
+
+*Lemma (fabricated centroids stay in the component).*  The region is the
+intersection of its member reporters' FSAs, so its centroid ``c`` lies inside
+**every** member's FSA, putting ``shard(c)`` in every member's footprint; and
+the region intersects the adopter's FSA, so any point of that intersection is
+a shard shared between the adopter and every member.  Hence the adopter, the
+members, and ``shard(c)`` all sit in one union-find component, and any two
+states that can adopt (or probe, or credit a crossing at) the same fabricated
+vertex are transitively grouped together.
+
+1. *Writes.*  A decision inserts at most one path ``start -> endpoint`` with
+   ``start`` the state's SSA start and ``endpoint`` either a point of the
+   state's FSA (Case 2 stored end vertices and every degenerate fall-back)
+   or a fabricated centroid covered by the lemma; a Case 1 reuse writes
+   nothing.  Grid entries land in the shards owning ``start`` and
+   ``endpoint`` — both in the component.  Crossings are recorded with the
+   chosen path's owner, which is the shard of the path's start vertex; every
+   choosable path starts at the state's own SSA start (Case 1 candidates and
+   ``_insert_or_reuse`` both require an exact start match), so hotness
+   writes also stay in the component.  With duplicate object ids a state may
+   adopt the *other* reporter's candidate set, whose paths start at the
+   other state's SSA start; unioning duplicate reporters keeps that shard in
+   the component too.
+2. *Reads.*  Case 1 candidate sets and their co-occurrence boost are computed
+   before any decision runs, from the pre-epoch snapshot — identical in the
+   serial and grouped replays.  The FSA overlap structure is built once at
+   the same barrier and is read-only.  ``end_vertices_in(fsa)`` touches only
+   shards overlapping the FSA, and the ``paths_from_into`` reuse probe
+   touches the shard of the probed endpoint (an FSA point or a lemma-covered
+   centroid).  The one read that can leave the component... cannot: the
+   hotness of a path ending inside the FSA but *owned* (started) elsewhere
+   cannot be written by another group in the same epoch, because any writer
+   must have chosen that path, which requires the path's end vertex to be
+   the writer's chosen endpoint — inside the writer's FSA or a fabricated
+   centroid, and in both cases the end vertex is a shard shared (directly or
+   through the lemma) with the reader, i.e. the writer is in the same group.
+3. *Path ids.*  No decision compares the numeric id of a path inserted in the
+   same epoch (intra-epoch paths never appear in Case 1 candidate sets, and
+   the reuse probe matches on geometry), so groups commit with provisional
+   ids and the router renumbers the epoch's insertions in global submission
+   order afterwards — reproducing the exact ids the serial replay allocates.
+
+Maintainers: the grouping must remain *component-based*; replacing it with
+per-state footprint locking would break the lemma's transitive coverage of
+fabricated centroids and race only probabilistically.
+
+Expiry pops are unaffected: per-shard event heaps receive pushes from a
+single group per epoch, and heap pops drain in sorted ``(expiry, path_id)``
+order regardless of the internal arrangement a rebuild produces.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.client.state import ObjectState
+from repro.coordinator.single_path import CandidatePath, SinglePathDecision
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "create_backend",
+    "conflict_groups",
+]
+
+#: Names accepted by :func:`create_backend` (and the CLI ``--backend`` flag).
+BACKEND_NAMES: Tuple[str, ...] = ("serial", "threads", "processes")
+
+#: ``(position, state)`` pairs grouped by owning shard id.
+Buckets = Dict[int, List[Tuple[int, ObjectState]]]
+
+#: A conflict group: the positions of its member states, in submission order.
+Group = List[int]
+
+#: Decision-stage callback: replays one group, returning ``(position, decision)``.
+GroupCommit = Callable[[Group], List[Tuple[int, SinglePathDecision]]]
+
+
+def _default_workers() -> int:
+    """Pool width: one slot per core, but at least two so the concurrent code
+    paths are genuinely exercised even on single-core containers."""
+    return max(2, min(8, os.cpu_count() or 1))
+
+
+def _chunk(items: list, chunks: int) -> List[list]:
+    """Round-robin ``items`` into at most ``chunks`` non-empty lists.
+
+    Worker tasks carry a chunk rather than a single bucket/group: per-task
+    pool overhead is paid ``O(workers)`` times per epoch instead of
+    ``O(shards + groups)`` times, which matters for the many small epochs a
+    live stream produces.
+    """
+    if not items:
+        return []
+    buckets = [items[offset::chunks] for offset in range(min(chunks, len(items)))]
+    return buckets
+
+
+# ---------------------------------------------------------------------------
+# Conflict grouping
+# ---------------------------------------------------------------------------
+
+
+def conflict_groups(states: Sequence[ObjectState], grid) -> List[Group]:
+    """Partition an epoch's states into independently committable groups.
+
+    ``grid`` is the router's :class:`~repro.coordinator.sharding.ShardGrid`.
+    Two states land in the same group when their shard footprints (owner of
+    the SSA start plus all shards overlapped by the FSA) intersect, or when
+    they report the same object id.  Groups list member positions in
+    submission order; the group list itself is ordered by first member, so
+    the partition is deterministic.
+    """
+    parent: Dict[int, int] = {}
+
+    def find(shard_id: int) -> int:
+        root = shard_id
+        while parent[root] != root:
+            root = parent[root]
+        while parent[shard_id] != root:
+            parent[shard_id], shard_id = root, parent[shard_id]
+        return root
+
+    def union(a: int, b: int) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    anchors: List[int] = []
+    object_anchor: Dict[int, int] = {}
+    for position, state in enumerate(states):
+        anchor = grid.shard_id_of(state.start)
+        shard_ids = {anchor}
+        shard_ids.update(grid.shard_ids_overlapping(state.fsa))
+        for shard_id in shard_ids:
+            parent.setdefault(shard_id, shard_id)
+        for shard_id in shard_ids:
+            union(anchor, shard_id)
+        previous = object_anchor.get(state.object_id)
+        if previous is not None:
+            union(anchor, previous)
+        object_anchor[state.object_id] = anchor
+        anchors.append(anchor)
+
+    groups: Dict[int, Group] = {}
+    for position, anchor in enumerate(anchors):
+        groups.setdefault(find(anchor), []).append(position)
+    return sorted(groups.values(), key=lambda group: group[0])
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class ExecutionBackend(ABC):
+    """How the sharded epoch pipeline maps its stages onto workers.
+
+    ``map_candidate_buckets`` runs the read-only per-shard Case 1 candidate
+    passes; ``map_decision_groups`` replays the decision stage over conflict
+    groups.  Backends with ``parallel_decisions = False`` never receive the
+    latter call — the pipeline replays global submission order inline.
+    ``needs_journal`` tells the router whether to record its mutation journal
+    (only the process backend consumes it).
+    """
+
+    name: str = "abstract"
+    parallel_decisions: bool = False
+    needs_journal: bool = False
+
+    @abstractmethod
+    def map_candidate_buckets(
+        self, router, buckets: Buckets, states: Sequence[ObjectState]
+    ) -> List[Optional[List[CandidatePath]]]:
+        """Return the candidate set of every state, indexed by position."""
+
+    def map_decision_groups(
+        self, groups: List[Group], commit: GroupCommit
+    ) -> List[List[Tuple[int, SinglePathDecision]]]:
+        """Commit every conflict group, returning the per-group decision lists."""
+        raise NotImplementedError(f"{self.name} backend does not parallelise decisions")
+
+    def close(self) -> None:
+        """Release pool resources; the backend may be lazily revived afterwards."""
+
+    # -- shared helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _candidates_inline(
+        router, buckets: Buckets, states: Sequence[ObjectState]
+    ) -> List[Optional[List[CandidatePath]]]:
+        per_state: List[Optional[List[CandidatePath]]] = [None] * len(states)
+        for shard_id, bucket in buckets.items():
+            strategy = router.shards[shard_id].strategy
+            for position, state in bucket:
+                per_state[position] = strategy.candidate_paths(state)
+        return per_state
+
+
+class SerialBackend(ExecutionBackend):
+    """The reference pipeline: everything inline, decisions in global order."""
+
+    name = "serial"
+    parallel_decisions = False
+
+    def map_candidate_buckets(self, router, buckets, states):
+        return self._candidates_inline(router, buckets, states)
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread-pool backend: chunked shard buckets and conflict groups.
+
+    The candidate stage is read-only, so per-shard passes are safe to run
+    concurrently; the decision stage relies on the conflict-group footprint
+    argument in the module docstring (groups touch disjoint shards, and the
+    only shared structures — the owner table and per-shard hotness tables —
+    are only ever written for keys no other group reads).
+
+    Both stages are pure-Python CPU-bound work, so on a standard CPython
+    build the GIL caps this backend at serial throughput — it exists for
+    free-threaded (PEP 703) builds, as the decision pool of
+    :class:`ProcessBackend`, and as the simplest harness for exercising the
+    conflict-group commit machinery.  For multi-core wins on stock CPython
+    use ``processes``.
+    """
+
+    name = "threads"
+    parallel_decisions = True
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self._workers = workers if workers is not None else _default_workers()
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="repro-epoch"
+            )
+        return self._pool
+
+    def map_candidate_buckets(self, router, buckets, states):
+        pool = self._ensure_pool()
+        per_state: List[Optional[List[CandidatePath]]] = [None] * len(states)
+
+        def run_buckets(items):
+            answers = []
+            for shard_id, bucket in items:
+                strategy = router.shards[shard_id].strategy
+                answers.extend(
+                    (position, strategy.candidate_paths(state)) for position, state in bucket
+                )
+            return answers
+
+        for answers in pool.map(run_buckets, _chunk(list(buckets.items()), self._workers)):
+            for position, candidates in answers:
+                per_state[position] = candidates
+        return per_state
+
+    def map_decision_groups(self, groups, commit):
+        pool = self._ensure_pool()
+
+        def run_groups(chunk):
+            outcomes = []
+            for group in chunk:
+                outcomes.extend(commit(group))
+            return outcomes
+
+        return list(pool.map(run_groups, _chunk(groups, self._workers)))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def _process_worker_main(connection, shard_configs, snapshot_ops) -> None:
+    """Worker loop of :class:`ProcessBackend` (runs in the child process).
+
+    Maintains a replica of the *start-entry* grid index of each shard this
+    worker is assigned — the only structure the candidate pass reads —
+    bootstrapped from a snapshot of the live records and kept fresh by
+    replaying the worker's slice of the router's mutation journal, and
+    answers batched ``paths_starting_at`` queries.
+    """
+    from repro.core.geometry import Point, Rectangle
+    from repro.coordinator.grid_index import GridConfig, GridIndex
+    from repro.core.motion_path import MotionPath, MotionPathRecord
+
+    replicas: Dict[int, GridIndex] = {}
+    for shard_id, (b_lx, b_ly, b_hx, b_hy), cells in shard_configs:
+        bounds = Rectangle(Point(b_lx, b_ly), Point(b_hx, b_hy))
+        replicas[shard_id] = GridIndex(GridConfig(bounds, cells))
+
+    def apply(ops) -> None:
+        for op in ops:
+            if op[0] == "i":
+                _tag, path_id, shard_id, s_x, s_y, e_x, e_y, created_at = op
+                record = MotionPathRecord(
+                    path_id, MotionPath(Point(s_x, s_y), Point(e_x, e_y)), created_at
+                )
+                replicas[shard_id].register(record)
+                replicas[shard_id].add_entry(record, is_start=True)
+            elif op[0] == "d":
+                _tag, path_id, shard_id = op
+                record = replicas[shard_id].get(path_id)
+                replicas[shard_id].remove_entry(path_id, record.path.start, is_start=True)
+                replicas[shard_id].unregister(path_id)
+            else:  # ("r", provisional_id, final_id, shard_id): commit renumber
+                _tag, old_id, new_id, shard_id = op
+                replica = replicas[shard_id]
+                record = replica.get(old_id)
+                replica.remove_entry(old_id, record.path.start, is_start=True)
+                replica.unregister(old_id)
+                record.path_id = new_id
+                replica.register(record)
+                replica.add_entry(record, is_start=True)
+
+    apply(snapshot_ops)
+    while True:
+        message = connection.recv()
+        kind = message[0]
+        if kind == "stop":
+            connection.close()
+            return
+        _kind, ops, tasks = message
+        apply(ops)
+        answers = []
+        for position, shard_id, s_x, s_y, f_lx, f_ly, f_hx, f_hy in tasks:
+            records = replicas[shard_id].paths_starting_at(
+                Point(s_x, s_y), Rectangle(Point(f_lx, f_ly), Point(f_hx, f_hy))
+            )
+            answers.append((position, [record.path_id for record in records]))
+        connection.send(answers)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Process-pool backend: candidate passes on replicated shard indexes.
+
+    Each persistent worker owns replicas of the start-entry indexes of its
+    statically assigned shards (``shard_id % workers``), bootstrapped from a
+    snapshot of the live records at spawn time and fed its slice of the
+    router's mutation journal at the start of each epoch (replication is
+    cheap: one small tuple per insert or delete, partitioned across the
+    pool, and the journal prefix every worker has replayed is dropped each
+    epoch).  The parent ships each worker its shard buckets as flat float
+    tuples and receives candidate *path ids*; records and hotness are
+    attached parent-side from the authoritative index, so replicas never
+    need the hotness tables.  Decisions commit on an in-process thread pool —
+    they mutate the authoritative state, which only exists in the parent.
+    """
+
+    name = "processes"
+    parallel_decisions = True
+    needs_journal = True
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self._requested_workers = workers
+        self._processes: List = []
+        self._connections: List = []
+        self._journal_seqs: List[int] = []
+        self._decision_pool = ThreadBackend(workers)
+
+    # -- worker lifecycle -------------------------------------------------------
+
+    @staticmethod
+    def _spawn_context():
+        """Fork on Linux (fast, and our workers inherit nothing they use);
+        the default context elsewhere (fork is unavailable on Windows and
+        unsafe under threads on macOS).  Workers are fully rebuilt from their
+        pickled arguments either way."""
+        import multiprocessing
+        import sys
+
+        if sys.platform.startswith("linux"):
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def _ensure_workers(self, router) -> None:
+        if self._processes:
+            return
+        context = self._spawn_context()
+        workers = self._requested_workers
+        if workers is None:
+            workers = min(len(router.shards), _default_workers())
+        workers = max(1, workers)
+        # Each worker replicates only its statically assigned shards
+        # (shard_id % workers), so replica memory and journal replay are
+        # partitioned, not multiplied, across the pool.
+        shard_configs: List[list] = [[] for _ in range(workers)]
+        for shard in router.shards:
+            shard_configs[shard.shard_id % workers].append(
+                (
+                    shard.shard_id,
+                    (
+                        shard.index.config.bounds.low.x,
+                        shard.index.config.bounds.low.y,
+                        shard.index.config.bounds.high.x,
+                        shard.index.config.bounds.high.y,
+                    ),
+                    shard.index.config.cells_per_axis,
+                )
+            )
+        # Bootstrap snapshot of the live records: replicas never need journal
+        # history from before the spawn, so the journal can be truncated as
+        # soon as every worker has replayed it (see map_candidate_buckets).
+        snapshot_ops: List[list] = [[] for _ in range(workers)]
+        for path_id, shard in router.owners.items():
+            record = shard.index.get(path_id)
+            snapshot_ops[shard.shard_id % workers].append(
+                (
+                    "i",
+                    path_id,
+                    shard.shard_id,
+                    record.path.start.x,
+                    record.path.start.y,
+                    record.path.end.x,
+                    record.path.end.y,
+                    record.created_at,
+                )
+            )
+        journal_seq = len(router.journal)
+        for worker in range(workers):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_process_worker_main,
+                args=(child_conn, shard_configs[worker], snapshot_ops[worker]),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            self._connections.append(parent_conn)
+            self._journal_seqs.append(journal_seq)
+
+    def _worker_of(self, shard_id: int) -> int:
+        return shard_id % len(self._processes)
+
+    @staticmethod
+    def _op_shard(op) -> int:
+        """The shard a journal op belongs to (position varies by op tag)."""
+        return op[3] if op[0] == "r" else op[2]
+
+    # -- pipeline stages --------------------------------------------------------
+
+    def map_candidate_buckets(self, router, buckets, states):
+        self._ensure_workers(router)
+        journal = router.journal
+        journal_length = len(journal)
+        tasks_per_worker: List[list] = [[] for _ in self._processes]
+        for shard_id, bucket in buckets.items():
+            tasks = tasks_per_worker[self._worker_of(shard_id)]
+            for position, state in bucket:
+                tasks.append(
+                    (
+                        position,
+                        shard_id,
+                        state.start.x,
+                        state.start.y,
+                        state.fsa_low.x,
+                        state.fsa_low.y,
+                        state.fsa_high.x,
+                        state.fsa_high.y,
+                    )
+                )
+        # One round trip per worker per epoch: every worker receives its
+        # slice of the journal suffix it is missing (keeping all replicas
+        # fresh even on idle epochs) together with its shard buckets.
+        worker_count = len(self._processes)
+        for worker, connection in enumerate(self._connections):
+            ops = [
+                op
+                for op in journal[self._journal_seqs[worker] : journal_length]
+                if self._op_shard(op) % worker_count == worker
+            ]
+            connection.send(("work", ops, tasks_per_worker[worker]))
+            self._journal_seqs[worker] = journal_length
+        # Every replica has now replayed its slice of the journal prefix, and
+        # freshly spawned workers bootstrap from a snapshot instead of
+        # history — so the prefix is dead and the journal stays bounded by
+        # epoch churn.
+        del journal[:journal_length]
+        self._journal_seqs = [seq - journal_length for seq in self._journal_seqs]
+        per_state: List[Optional[List[CandidatePath]]] = [None] * len(states)
+        index, hotness = router.index, router.hotness
+        for connection in self._connections:
+            for position, path_ids in connection.recv():
+                per_state[position] = [
+                    CandidatePath(index.get(path_id), hotness.hotness(path_id) + 1)
+                    for path_id in path_ids
+                ]
+        return per_state
+
+    def map_decision_groups(self, groups, commit):
+        return self._decision_pool.map_decision_groups(groups, commit)
+
+    def close(self) -> None:
+        for connection in self._connections:
+            try:
+                connection.send(("stop",))
+                connection.close()
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive cleanup
+                process.terminate()
+        self._processes = []
+        self._connections = []
+        self._journal_seqs = []
+        self._decision_pool.close()
+
+
+def create_backend(name: str, workers: Optional[int] = None) -> ExecutionBackend:
+    """Instantiate an execution backend by name (see :data:`BACKEND_NAMES`)."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "threads":
+        return ThreadBackend(workers)
+    if name == "processes":
+        return ProcessBackend(workers)
+    raise ConfigurationError(
+        f"unknown execution backend {name!r}; expected one of {', '.join(BACKEND_NAMES)}"
+    )

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.errors import ConfigurationError, CoordinatorError
 
@@ -29,6 +29,7 @@ class HotnessTracker:
         self.window = window
         self._hotness: Dict[int, int] = {}
         self._events: List[Tuple[int, int]] = []  # (expiry_time, path_id) min-heap
+        self._deferred: Optional[List[Tuple[int, int]]] = None
 
     # -- recording --------------------------------------------------------------
 
@@ -39,7 +40,10 @@ class HotnessTracker:
         """
         new_hotness = self._hotness.get(path_id, 0) + 1
         self._hotness[path_id] = new_hotness
-        heapq.heappush(self._events, (t_end + self.window, path_id))
+        if self._deferred is not None:
+            self._deferred.append((t_end + self.window, path_id))
+        else:
+            heapq.heappush(self._events, (t_end + self.window, path_id))
         return new_hotness
 
     # -- expiry -------------------------------------------------------------------
@@ -65,6 +69,38 @@ class HotnessTracker:
             else:
                 self._hotness[path_id] = current - 1
         return vanished
+
+    # -- deferred recording (parallel epoch commits) ------------------------------
+
+    def begin_deferred(self) -> None:
+        """Buffer subsequent crossings' expiry events instead of heap-pushing.
+
+        Opened by the sharded router for the span of a parallel epoch commit:
+        crossings may be recorded under provisional path ids that are
+        renumbered when the commit finishes, and expiry never runs mid-epoch,
+        so the heap pushes can wait for :meth:`flush_deferred`.  Hotness
+        counters still update immediately (same-epoch decisions read them).
+        """
+        self._deferred = []
+
+    def flush_deferred(self, mapping: Dict[int, int]) -> None:
+        """Close the deferred span, re-keying provisional ids to final ones.
+
+        ``mapping`` holds the provisional -> final renames of the finished
+        commit (see
+        :meth:`repro.coordinator.sharding.ShardRouter.finish_parallel_commit`);
+        counters and the buffered events are re-keyed in O(renames + buffered)
+        — the existing heap is never scanned — and the events are pushed.
+        Heap pops drain in sorted ``(expiry, path_id)`` order regardless of
+        push order, so deferral is not observable.
+        """
+        deferred = self._deferred if self._deferred is not None else []
+        self._deferred = None
+        for old_id, new_id in mapping.items():
+            if old_id in self._hotness:
+                self._hotness[new_id] = self._hotness.pop(old_id)
+        for expiry, path_id in deferred:
+            heapq.heappush(self._events, (expiry, mapping.get(path_id, path_id)))
 
     # -- queries -------------------------------------------------------------------
 

@@ -41,34 +41,57 @@ Per-shard expiry queues are drained lazily at the epoch boundary (the
 shard's event heap once per epoch rather than interleaving expiry work with
 message intake.
 
+**Parallel execution.**  Both stages of the pipeline can run on a worker pool
+(see :mod:`repro.coordinator.execution`): the per-shard candidate passes are
+read-only and embarrassingly parallel, and the decision stage is partitioned
+into *conflict groups* — two states conflict when the shards touched by their
+FSAs or SSA starts intersect — that commit concurrently while submission
+order is replayed inside each group.  Parallel commits allocate provisional
+path ids (``_commit_base + submission position``, a range disjoint from both
+pre-epoch and final ids); because no decision ever compares the numeric id of
+a path inserted in the same epoch, :meth:`ShardRouter.finish_parallel_commit`
+can renumber the epoch's insertions in global submission order afterwards,
+reproducing exactly the ids the serial replay allocates.  The full
+correctness argument lives in the :mod:`repro.coordinator.execution`
+docstring.
+
 **Exactness.**  The sharded coordinator is behaviour-identical to the
 single-shard coordinator, not an approximation: path ids come from one global
-counter, decisions execute in submission order against the same live state,
-every SinglePath tie-break is a total order (independent of candidate
-enumeration order), and the top-k merge ranks the union of per-shard hot
-paths with the same total key.  ``tests/test_sharding_equivalence.py`` holds
-the differential harness asserting bit-for-bit equality on full simulation
-workloads.  The remaining cross-shard coupling — the FSA overlap structure of
-one epoch is built globally — is the price of exactness and is listed in the
-roadmap as the seam for approximate asynchronous shard workers.
+counter, decisions execute in submission order against the same live state
+(or in conflict groups proven equivalent to it), every SinglePath tie-break
+is a total order (independent of candidate enumeration order), and the top-k
+merge ranks the union of per-shard hot paths with the same total key.
+``tests/test_sharding_equivalence.py`` holds the differential harness
+asserting bit-for-bit equality on full simulation workloads, for every
+execution backend.  The remaining cross-shard coupling — the FSA overlap
+structure of one epoch is built globally — is the price of exactness and is
+listed in the roadmap as the seam for approximate asynchronous shard workers.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from itertools import chain
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import ConfigurationError, CoordinatorError
 from repro.core.geometry import Point, Rectangle
 from repro.core.motion_path import MotionPath, MotionPathRecord
 from repro.client.state import ObjectState
+from repro.coordinator.execution import (
+    ExecutionBackend,
+    SerialBackend,
+    conflict_groups,
+    create_backend,
+)
 from repro.coordinator.grid_index import GridConfig, GridIndex
 from repro.coordinator.hotness import HotnessTracker
 from repro.coordinator.overlaps import FsaOverlapStructure
 from repro.coordinator.single_path import (
     CandidatePath,
+    SinglePathDecision,
     SinglePathEpochResult,
     SinglePathStrategy,
     apply_co_occurrence_boost,
@@ -360,12 +383,19 @@ class ShardedSinglePath:
 
     Drop-in replacement for :meth:`SinglePathStrategy.process_epoch`: the
     intake is grouped by shard and candidate generation runs as one pass per
-    shard, while the decision stage replays global submission order so the
-    outcome is identical to the single-shard strategy.
+    shard on the execution backend's worker pool, while the decision stage
+    replays global submission order — directly on the serial backend, or per
+    conflict group with deferred id renumbering on the parallel backends —
+    so the outcome is identical to the single-shard strategy.
     """
 
-    def __init__(self, router: "ShardRouter") -> None:
+    def __init__(self, router: "ShardRouter", backend: Optional[ExecutionBackend] = None) -> None:
         self._router = router
+        self.backend = backend if backend is not None else SerialBackend()
+
+    def close(self) -> None:
+        """Release the backend's worker pool (revived lazily if reused)."""
+        self.backend.close()
 
     def process_epoch(self, states: Sequence[ObjectState]) -> SinglePathEpochResult:
         result = SinglePathEpochResult()
@@ -384,17 +414,14 @@ class ShardedSinglePath:
             buckets.setdefault(shard.shard_id, []).append((position, state))
             fsas[state.object_id] = state.fsa
 
-        # Stage 2: per-shard candidate generation, one pass over each bucket.
+        # Stage 2: per-shard candidate generation, one pass over each bucket,
+        # mapped onto the backend's workers (the pass is read-only).
         # Candidate paths start at the object's SSA start, which the bucket's
         # shard owns, so no cross-shard traffic happens here.  The per-object
         # dict is rebuilt in submission order afterwards: when one object
         # reports twice in an epoch the single-shard strategy keeps the later
         # state's candidates, and bucket order must not change which one wins.
-        per_state: List[Optional[List[CandidatePath]]] = [None] * len(states)
-        for shard_id, bucket in buckets.items():
-            strategy = router.shards[shard_id].strategy
-            for position, state in bucket:
-                per_state[position] = strategy.candidate_paths(state)
+        per_state = self.backend.map_candidate_buckets(router, buckets, states)
         candidate_paths: Dict[int, List[CandidatePath]] = {}
         for position, state in enumerate(states):
             candidate_paths[state.object_id] = per_state[position]
@@ -405,10 +432,51 @@ class ShardedSinglePath:
         # what makes the pipeline exact: within an epoch, later objects see
         # the paths and crossings earlier objects produced, exactly as the
         # single-shard strategy interleaves them.
-        for state, shard in routed:
-            result.tally(
-                shard.strategy.decide(state, candidate_paths[state.object_id], overlaps)
-            )
+        if not self.backend.parallel_decisions:
+            for state, shard in routed:
+                result.tally(
+                    shard.strategy.decide(state, candidate_paths[state.object_id], overlaps)
+                )
+            return result
+
+        # Parallel decision stage: non-conflicting groups commit concurrently
+        # (submission order replayed within each group), with provisional path
+        # ids renumbered to the serial allocation afterwards.  See the
+        # :mod:`repro.coordinator.execution` docstring for the equivalence
+        # argument.
+        groups = conflict_groups(states, router.grid)
+
+        def commit(group: List[int]) -> List[Tuple[int, SinglePathDecision]]:
+            outcomes: List[Tuple[int, SinglePathDecision]] = []
+            try:
+                for position in group:
+                    state, shard = routed[position]
+                    router.set_commit_position(position)
+                    outcomes.append(
+                        (
+                            position,
+                            shard.strategy.decide(
+                                state, candidate_paths[state.object_id], overlaps
+                            ),
+                        )
+                    )
+            finally:
+                router.set_commit_position(None)
+            return outcomes
+
+        decisions: List[Optional[SinglePathDecision]] = [None] * len(states)
+        router.begin_parallel_commit(len(states))
+        try:
+            for chunk in self.backend.map_decision_groups(groups, commit):
+                for position, decision in chunk:
+                    decisions[position] = decision
+        finally:
+            id_mapping = router.finish_parallel_commit()
+        for decision in decisions:
+            final_id = id_mapping.get(decision.path_id)
+            if final_id is not None:
+                decision.path_id = final_id
+            result.tally(decision)
         return result
 
 
@@ -427,10 +495,23 @@ class ShardRouter:
         window: int,
         cells_per_axis: int,
         num_shards: int,
+        backend: Union[str, ExecutionBackend] = "serial",
     ) -> None:
         rows, cols = shard_layout(num_shards)
         self.grid = ShardGrid(bounds, rows, cols)
         self.global_grid_config = GridConfig(bounds, cells_per_axis)
+        #: Mutation journal replayed by process-backend replicas: one compact
+        #: tuple per insert/delete, appended in commit order.  Recorded only
+        #: when the backend consumes it (``needs_journal``), and truncated by
+        #: the consumer once every replica has replayed a prefix.
+        self.journal: List[tuple] = []
+        self._journal_enabled = False
+        # Parallel-commit state: while a commit is open, inserts performed by
+        # group workers allocate the provisional id ``_commit_base + position``
+        # of the deciding state (position communicated via a thread-local).
+        self._commit_base: Optional[int] = None
+        self._commit_log: List[Tuple[int, MotionPathRecord]] = []
+        self._commit_tls = threading.local()
         # Shard grids must never be coarser than the global grid on either
         # axis (GridConfig is square, shards may not be): divide by the
         # smaller layout dimension so the worse axis matches the global cell
@@ -460,7 +541,10 @@ class ShardRouter:
                 )
         self.index = ShardedGridIndex(self)
         self.hotness = ShardedHotnessTracker(self, window)
-        self.pipeline = ShardedSinglePath(self)
+        if isinstance(backend, str):
+            backend = create_backend(backend)
+        self._journal_enabled = backend.needs_journal
+        self.pipeline = ShardedSinglePath(self, backend)
         for shard in self.shards:
             shard.strategy = SinglePathStrategy(
                 _ShardLocalView(self, shard.shard_id), self.hotness
@@ -483,15 +567,39 @@ class ShardRouter:
     # -- global record lifecycle ---------------------------------------------------
 
     def insert(self, path: MotionPath, created_at: int = 0) -> MotionPathRecord:
-        """Insert a path: global id, record with the start owner, entries per endpoint."""
-        record = MotionPathRecord(self._next_path_id, path, created_at)
-        self._next_path_id += 1
+        """Insert a path: global id, record with the start owner, entries per endpoint.
+
+        During an open parallel commit the id is provisional (derived from the
+        deciding state's submission position, a range disjoint from real ids)
+        and the insertion is logged for renumbering; otherwise ids come
+        straight off the global counter.
+        """
+        position = getattr(self._commit_tls, "position", None)
+        if self._commit_base is not None and position is not None:
+            record = MotionPathRecord(self._commit_base + position, path, created_at)
+            self._commit_log.append((record.path_id, record))
+        else:
+            record = MotionPathRecord(self._next_path_id, path, created_at)
+            self._next_path_id += 1
         start_owner = self.shard_of(path.start)
         end_owner = self.shard_of(path.end)
         start_owner.index.register(record)
         start_owner.index.add_entry(record, is_start=True)
         end_owner.index.add_entry(record, is_start=False)
         self.owners[record.path_id] = start_owner
+        if self._journal_enabled:
+            self.journal.append(
+                (
+                    "i",
+                    record.path_id,
+                    start_owner.shard_id,
+                    path.start.x,
+                    path.start.y,
+                    path.end.x,
+                    path.end.y,
+                    created_at,
+                )
+            )
         return record
 
     def delete(self, path_id: int) -> None:
@@ -508,6 +616,63 @@ class ShardRouter:
         )
         owner.index.unregister(path_id)
         del self.owners[path_id]
+        if self._journal_enabled:
+            self.journal.append(("d", path_id, owner.shard_id))
+
+    # -- parallel decision commits ---------------------------------------------------
+
+    def set_commit_position(self, position: Optional[int]) -> None:
+        """Bind the calling worker thread to the submission position it replays."""
+        self._commit_tls.position = position
+
+    def begin_parallel_commit(self, batch_size: int) -> None:
+        """Open a parallel commit for an epoch of ``batch_size`` states.
+
+        Provisional ids are ``_commit_base + position``; the base leaves room
+        below it for the final ids (at most one insert per state), so the
+        provisional range collides with neither pre-epoch nor renumbered ids.
+        Per-shard hotness trackers buffer their expiry-event pushes for the
+        span of the commit (crossings may carry provisional ids).
+        """
+        self._commit_base = self._next_path_id + batch_size
+        self._commit_log = []
+        for shard in self.shards:
+            shard.hotness.begin_deferred()
+
+    def finish_parallel_commit(self) -> Dict[int, int]:
+        """Renumber the commit's insertions into global submission order.
+
+        Sorting the commit log by provisional id is sorting by submission
+        position, which is exactly the order the serial replay allocates ids
+        in.  Returns the provisional -> final id mapping.
+        """
+        mapping: Dict[int, int] = {}
+        hotness_renames: Dict[int, Dict[int, int]] = {}
+        for provisional_id, record in sorted(self._commit_log, key=lambda item: item[0]):
+            final_id = self._next_path_id
+            self._next_path_id += 1
+            mapping[provisional_id] = final_id
+            owner = self.owners.pop(provisional_id)
+            start, end = record.path.start, record.path.end
+            owner.index.remove_entry(provisional_id, start, is_start=True)
+            self.shard_of(end).index.remove_entry(provisional_id, end, is_start=False)
+            owner.index.unregister(provisional_id)
+            record.path_id = final_id
+            owner.index.register(record)
+            owner.index.add_entry(record, is_start=True)
+            self.shard_of(end).index.add_entry(record, is_start=False)
+            self.owners[final_id] = owner
+            hotness_renames.setdefault(owner.shard_id, {})[provisional_id] = final_id
+            if self._journal_enabled:
+                self.journal.append(("r", provisional_id, final_id, owner.shard_id))
+        # Every shard flushes its deferred expiry events (crossings happen on
+        # shards that inserted nothing too); renames re-key counters and the
+        # buffered events without touching the existing heaps.
+        for shard in self.shards:
+            shard.hotness.flush_deferred(hotness_renames.get(shard.shard_id, {}))
+        self._commit_base = None
+        self._commit_log = []
+        return mapping
 
     # -- diagnostics ----------------------------------------------------------------
 

@@ -131,6 +131,7 @@ def scaled_simulation_config(
     run_naive_baseline: bool = True,
     cells_per_axis: int = 64,
     num_shards: int = 1,
+    backend: str = "serial",
     seed: int = 42,
 ) -> SimulationConfig:
     """Build a :class:`SimulationConfig` from paper defaults, scaled for Python.
@@ -160,6 +161,7 @@ def scaled_simulation_config(
         top_k=int(PAPER_DEFAULTS["top_k"]),
         cells_per_axis=cells_per_axis,
         num_shards=num_shards,
+        backend=backend,
         seed=seed,
         run_dp_baseline=run_dp_baseline,
         run_naive_baseline=run_naive_baseline,

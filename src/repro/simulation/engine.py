@@ -51,8 +51,10 @@ class SimulationConfig:
     quality metric.  ``run_dp_baseline`` / ``run_naive_baseline`` toggle the
     comparison methods (they share the measurement stream, so enabling them
     does not perturb the main method).  ``num_shards`` partitions the
-    coordinator into a shard fleet (1 = the paper's central coordinator);
-    sharding is behaviour-identical, so results are comparable across values.
+    coordinator into a shard fleet (1 = the paper's central coordinator) and
+    ``backend`` selects the fleet's epoch execution backend (``serial``,
+    ``threads`` or ``processes``); sharding and every backend are
+    behaviour-identical, so results are comparable across values.
     """
 
     num_objects: int = 20000
@@ -67,6 +69,7 @@ class SimulationConfig:
     top_k: int = 10
     cells_per_axis: int = 64
     num_shards: int = 1
+    backend: str = "serial"
     seed: int = 42
     report_uncertainty: bool = False
     run_dp_baseline: bool = True
@@ -150,6 +153,7 @@ class HotPathSimulation:
                 window=config.window,
                 cells_per_axis=config.cells_per_axis,
                 num_shards=config.num_shards,
+                backend=config.backend,
             )
         )
         self.dp_baseline: Optional[DPHotSegmentTracker] = None
@@ -164,33 +168,40 @@ class HotPathSimulation:
     # -- main loop -----------------------------------------------------------------
 
     def run(self) -> SimulationResult:
-        """Run the full simulation and return the collected results."""
+        """Run the full simulation and return the collected results.
+
+        Worker pools held by a parallel coordinator backend are released when
+        the run finishes; the returned result stays fully queryable.
+        """
         config = self.config
         raytrace_config = RayTraceConfig(config.tolerance, config.delta)
 
-        # Timestamp 0: seed the filters with the initial measurement of each object.
-        for object_id, measurement in self.workload.initial_measurements(0):
-            self._filters[object_id] = RayTraceFilter(object_id, measurement, raytrace_config)
-            if config.run_naive_baseline:
-                self._naive_clients[object_id] = NaiveClient(object_id)
-                self._account_naive(object_id, measurement)
-            self._feed_dp(object_id, measurement)
-
-        for timestamp in range(1, config.duration):
-            for object_id, measurement in self.workload.step(timestamp):
-                state = self._filters[object_id].observe(measurement)
-                if state is not None:
-                    self._submit(state)
+        try:
+            # Timestamp 0: seed the filters with the initial measurement of each object.
+            for object_id, measurement in self.workload.initial_measurements(0):
+                self._filters[object_id] = RayTraceFilter(object_id, measurement, raytrace_config)
                 if config.run_naive_baseline:
+                    self._naive_clients[object_id] = NaiveClient(object_id)
                     self._account_naive(object_id, measurement)
                 self._feed_dp(object_id, measurement)
 
-            if timestamp % config.epoch_length == 0:
-                self._run_epoch(timestamp)
+            for timestamp in range(1, config.duration):
+                for object_id, measurement in self.workload.step(timestamp):
+                    state = self._filters[object_id].observe(measurement)
+                    if state is not None:
+                        self._submit(state)
+                    if config.run_naive_baseline:
+                        self._account_naive(object_id, measurement)
+                    self._feed_dp(object_id, measurement)
 
-        # Final epoch at the end of the run so trailing states are processed.
-        if (config.duration - 1) % config.epoch_length != 0:
-            self._run_epoch(config.duration - 1)
+                if timestamp % config.epoch_length == 0:
+                    self._run_epoch(timestamp)
+
+            # Final epoch at the end of the run so trailing states are processed.
+            if (config.duration - 1) % config.epoch_length != 0:
+                self._run_epoch(config.duration - 1)
+        finally:
+            self.coordinator.close()
 
         return SimulationResult(
             config=self.config,

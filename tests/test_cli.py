@@ -40,6 +40,39 @@ class TestParser:
         assert args.shards == 4
         assert build_parser().parse_args(["run"]).shards == 1
 
+    def test_run_backend_flag(self):
+        for backend in ("serial", "threads", "processes"):
+            args = build_parser().parse_args(["run", "--backend", backend])
+            assert args.backend == backend
+        assert build_parser().parse_args(["run"]).backend == "serial"
+
+    def test_run_backend_rejects_unknown_value(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--backend", "gpu"])
+
+
+class TestHelp:
+    """``python -m repro --help`` must document the scale-out flags."""
+
+    def test_top_level_help_shows_examples(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        captured = capsys.readouterr().out
+        assert "examples:" in captured
+        assert "--shards 4 --backend threads" in captured
+
+    def test_run_help_documents_shards_and_backend(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--help"])
+        assert excinfo.value.code == 0
+        captured = capsys.readouterr().out
+        assert "--shards" in captured
+        assert "--backend" in captured
+        assert "{serial,threads,processes}" in captured
+        assert "central coordinator" in captured
+        assert "examples:" in captured
+
 
 class TestRunCommand:
     def test_run_prints_summary_and_paths(self, capsys):
@@ -73,6 +106,24 @@ class TestRunCommand:
         )
         captured = capsys.readouterr().out
         assert exit_code == 0
+        assert "coordinator shards: 4" in captured
+
+    def test_run_with_parallel_backend(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--objects", "60",
+                "--duration", "60",
+                "--network-nodes", "6",
+                "--area", "2000",
+                "--seed", "3",
+                "--shards", "4",
+                "--backend", "threads",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "coordinator backend: threads" in captured
         assert "coordinator shards: 4" in captured
 
 

@@ -1,0 +1,315 @@
+"""Tests for :mod:`repro.coordinator.execution`.
+
+Three layers:
+
+* property tests of :func:`conflict_groups` — the partition must be exactly
+  the connected components of the "shard footprints intersect or object ids
+  collide" relation, so no two conflicting states ever commit concurrently;
+* unit tests of backend selection, pool lifecycle and
+  :meth:`HotnessTracker.flush_deferred`;
+* a regression differential driving the ``threads`` and ``processes``
+  backends with a boundary-stressing stream (shared starts, FSAs straddling
+  shard borders, duplicate object ids, out-of-order timestamps) and asserting
+  bit-for-bit equality with the ``serial`` backend.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.core.geometry import Point, Rectangle
+from repro.client.state import ObjectState
+from repro.coordinator.coordinator import Coordinator, CoordinatorConfig
+from repro.coordinator.execution import (
+    BACKEND_NAMES,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    conflict_groups,
+    create_backend,
+)
+from repro.coordinator.hotness import HotnessTracker
+from repro.coordinator.sharding import ShardGrid
+
+BOUNDS = Rectangle(Point(0.0, 0.0), Point(1000.0, 1000.0))
+GRID = ShardGrid(BOUNDS, 4, 4)
+
+# Coordinates collide with the 4x4 shard borders (multiples of 250) and fall
+# outside the bounds, so footprints routinely share border shards.
+coordinate_pool = st.sampled_from(
+    [-40.0, 0.0, 100.0, 249.9, 250.0, 500.0, 625.0, 750.0, 999.0, 1000.0, 1100.0]
+)
+half_extents = st.sampled_from([1.0, 30.0, 130.0, 300.0])
+
+
+@st.composite
+def object_states(draw) -> ObjectState:
+    object_id = draw(st.integers(min_value=0, max_value=8))
+    start = Point(draw(coordinate_pool), draw(coordinate_pool))
+    centre = Point(draw(coordinate_pool), draw(coordinate_pool))
+    half = draw(half_extents)
+    fsa = Rectangle.from_center(centre, half)
+    t_end = draw(st.integers(min_value=1, max_value=50))
+    return ObjectState(object_id, start, 0, fsa.low, fsa.high, t_end)
+
+
+def footprint(state: ObjectState) -> set:
+    shards = {GRID.shard_id_of(state.start)}
+    shards.update(GRID.shard_ids_overlapping(state.fsa))
+    return shards
+
+
+class TestConflictGroups:
+    @given(st.lists(object_states(), min_size=0, max_size=25))
+    @settings(max_examples=200, deadline=None)
+    def test_groups_partition_positions(self, states):
+        groups = conflict_groups(states, GRID)
+        flattened = sorted(position for group in groups for position in group)
+        assert flattened == list(range(len(states)))
+        for group in groups:
+            assert group == sorted(group)  # submission order within each group
+
+    @given(st.lists(object_states(), min_size=2, max_size=25))
+    @settings(max_examples=200, deadline=None)
+    def test_conflicting_states_share_a_group(self, states):
+        """Any two states sharing a shard (or an object id) land in one group."""
+        groups = conflict_groups(states, GRID)
+        group_of = {
+            position: index for index, group in enumerate(groups) for position in group
+        }
+        for a in range(len(states)):
+            for b in range(a + 1, len(states)):
+                shared_shard = footprint(states[a]) & footprint(states[b])
+                same_object = states[a].object_id == states[b].object_id
+                if shared_shard or same_object:
+                    assert group_of[a] == group_of[b], (
+                        f"states {a} and {b} conflict "
+                        f"(shards {shared_shard}, same_object={same_object}) "
+                        "but were placed in different groups"
+                    )
+
+    @given(st.lists(object_states(), min_size=2, max_size=25))
+    @settings(max_examples=100, deadline=None)
+    def test_groups_are_deterministic(self, states):
+        assert conflict_groups(states, GRID) == conflict_groups(states, GRID)
+
+    def test_disjoint_states_split_into_groups(self):
+        """Far-apart states must NOT collapse into one group (parallelism exists)."""
+        states = [
+            ObjectState(1, Point(50.0, 50.0), 0, Point(40.0, 40.0), Point(60.0, 60.0), 5),
+            ObjectState(2, Point(900.0, 900.0), 0, Point(880.0, 880.0), Point(920.0, 920.0), 5),
+        ]
+        assert conflict_groups(states, GRID) == [[0], [1]]
+
+
+class TestBackendSelection:
+    def test_create_backend_names(self):
+        assert isinstance(create_backend("serial"), SerialBackend)
+        assert isinstance(create_backend("threads"), ThreadBackend)
+        assert isinstance(create_backend("processes"), ProcessBackend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            create_backend("asyncio")
+
+    def test_coordinator_config_validates_backend(self):
+        with pytest.raises(ConfigurationError):
+            CoordinatorConfig(bounds=BOUNDS, backend="not-a-backend")
+
+    def test_backend_names_cover_all_backends(self):
+        assert set(BACKEND_NAMES) == {"serial", "threads", "processes"}
+
+    def test_single_shard_ignores_backend(self):
+        coordinator = Coordinator(
+            CoordinatorConfig(bounds=BOUNDS, num_shards=1, backend="threads")
+        )
+        assert coordinator.router is None
+        coordinator.close()  # must be a safe no-op
+
+    def test_sharded_coordinator_uses_requested_backend(self):
+        for name in BACKEND_NAMES:
+            coordinator = Coordinator(
+                CoordinatorConfig(bounds=BOUNDS, num_shards=4, backend=name)
+            )
+            assert coordinator.router.pipeline.backend.name == name
+            coordinator.close()
+
+
+class TestHotnessDeferral:
+    def test_flush_renames_counts_and_buffered_events(self):
+        tracker = HotnessTracker(window=10)
+        tracker.begin_deferred()
+        tracker.record_crossing(100, t_end=1)  # provisional id
+        tracker.record_crossing(100, t_end=2)
+        tracker.record_crossing(7, t_end=3)    # pre-existing id, untouched
+        assert tracker.pending_events == 0     # pushes are buffered
+        tracker.flush_deferred({100: 5})
+        assert tracker.hotness(100) == 0
+        assert tracker.hotness(5) == 2
+        assert tracker.hotness(7) == 1
+        assert tracker.pending_events == 3
+        # Expiry events follow the rename: the window closes on the new id.
+        vanished = tracker.advance_time(20)
+        assert sorted(vanished) == [5, 7]
+        assert len(tracker) == 0
+
+    def test_counters_visible_while_deferred(self):
+        tracker = HotnessTracker(window=10)
+        tracker.begin_deferred()
+        tracker.record_crossing(3, t_end=1)
+        assert tracker.hotness(3) == 1  # same-epoch reads see the crossing
+        tracker.flush_deferred({})
+        assert tracker.hotness(3) == 1
+        assert tracker.pending_events == 1
+
+    def test_flush_without_begin_is_harmless(self):
+        tracker = HotnessTracker(window=10)
+        tracker.flush_deferred({3: 4})
+        assert tracker.hotness(4) == 0
+        assert tracker.pending_events == 0
+
+
+def boundary_stream(seed: int, epochs: int = 6, per_epoch: int = 24):
+    """States engineered to stress shard boundaries and duplicate reporters."""
+    rng = random.Random(seed)
+    start_pool = [
+        Point(rng.uniform(-50.0, 1050.0), rng.uniform(-50.0, 1050.0)) for _ in range(8)
+    ] + [
+        Point(250.0, 250.0),   # 4x4 shard corner
+        Point(500.0, 500.0),   # centre corner of the 2x2 layout
+        Point(750.0, 10.0),    # on a 4x4 vertical border
+        Point(-30.0, 980.0),   # clamped into a border shard
+    ]
+    stream = []
+    for epoch in range(1, epochs + 1):
+        boundary = epoch * 10
+        states = []
+        for _ in range(per_epoch):
+            start = rng.choice(start_pool)
+            centre = Point(
+                start.x + rng.uniform(-250.0, 250.0), start.y + rng.uniform(-250.0, 250.0)
+            )
+            fsa = Rectangle.from_center(centre, rng.uniform(5.0, 150.0))
+            t_end = boundary - rng.randrange(10)
+            states.append(
+                ObjectState(
+                    rng.randrange(per_epoch),  # duplicates likely
+                    start,
+                    max(0, t_end - 5),
+                    fsa.low,
+                    fsa.high,
+                    t_end,
+                )
+            )
+        stream.append((boundary, states))
+    return stream
+
+
+def drive(coordinator: Coordinator, stream, close_before_epoch: int = -1) -> List[dict]:
+    """Feed the stream epoch by epoch, snapshotting the full state after each.
+
+    ``close_before_epoch`` closes the coordinator's worker pool just before
+    that epoch runs, forcing a parallel backend to revive it mid-stream.
+    """
+    trace = []
+    try:
+        for index, (boundary, states) in enumerate(stream):
+            if index == close_before_epoch:
+                coordinator.close()
+            for state in states:
+                coordinator.submit_state(state)
+            outcome = coordinator.run_epoch(boundary)
+            trace.append(
+                {
+                    "responses": outcome.responses,
+                    "inserted": outcome.paths_inserted,
+                    "reused": outcome.paths_reused,
+                    "expired": outcome.paths_expired,
+                    "records": sorted(
+                        (r.path_id, r.path.start.as_tuple(), r.path.end.as_tuple(), r.created_at)
+                        for r in coordinator.index.records
+                    ),
+                    "hotness": sorted(coordinator.hotness.items()),
+                    "top_k": coordinator.top_k(10),
+                }
+            )
+    finally:
+        coordinator.close()
+    return trace
+
+
+class TestBackendRegression:
+    """``threads`` and ``processes`` must match ``serial`` on stress streams."""
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    @pytest.mark.parametrize("num_shards", [4, 16])
+    def test_parallel_backend_matches_serial(self, backend, num_shards):
+        def make(backend_name):
+            return Coordinator(
+                CoordinatorConfig(
+                    bounds=BOUNDS,
+                    window=40,
+                    cells_per_axis=32,
+                    num_shards=num_shards,
+                    backend=backend_name,
+                )
+            )
+
+        stream = boundary_stream(seed=17)
+        expected = drive(make("serial"), stream)
+        actual = drive(make(backend), stream)
+        for epoch, (exp, act) in enumerate(zip(expected, actual)):
+            assert act == exp, f"{backend} diverged from serial at epoch {epoch}"
+
+    def test_process_workers_revive_from_snapshot_after_close(self):
+        """Closing mid-stream forces a respawn: fresh workers must bootstrap
+        their replicas from the live-record snapshot (the journal prefix they
+        never saw has been truncated) and stay bit-for-bit exact."""
+        stream = boundary_stream(seed=31, epochs=6)
+        serial = drive(
+            Coordinator(
+                CoordinatorConfig(bounds=BOUNDS, window=40, num_shards=4, backend="serial")
+            ),
+            stream,
+        )
+        revived = drive(
+            Coordinator(
+                CoordinatorConfig(bounds=BOUNDS, window=40, num_shards=4, backend="processes")
+            ),
+            stream,
+            close_before_epoch=3,
+        )
+        assert revived == serial
+
+    def test_journal_only_recorded_for_process_backend(self):
+        """serial/threads never consume the journal, so it must stay empty."""
+        stream = boundary_stream(seed=7, epochs=2)
+        for backend, journal_expected in (("serial", False), ("threads", False)):
+            coordinator = Coordinator(
+                CoordinatorConfig(bounds=BOUNDS, window=40, num_shards=4, backend=backend)
+            )
+            drive(coordinator, stream)
+            assert bool(coordinator.router.journal) == journal_expected, backend
+
+    def test_parallel_path_ids_match_serial_allocation(self):
+        """Renumbering reproduces the exact ids the serial replay allocates."""
+        stream = boundary_stream(seed=23, epochs=4)
+        serial = drive(
+            Coordinator(
+                CoordinatorConfig(bounds=BOUNDS, window=40, num_shards=4, backend="serial")
+            ),
+            stream,
+        )
+        threaded = drive(
+            Coordinator(
+                CoordinatorConfig(bounds=BOUNDS, window=40, num_shards=4, backend="threads")
+            ),
+            stream,
+        )
+        for exp, act in zip(serial, threaded):
+            assert [r[0] for r in act["records"]] == [r[0] for r in exp["records"]]

@@ -8,6 +8,11 @@ architecture) and sharded fleets (2x2 and 4x4) with the *same* inputs:
   borders, points outside the monitored area, out-of-order timestamps);
 * full end-to-end simulations over several seeds and workload shapes.
 
+Every scenario runs for each execution backend (``serial``, ``threads``,
+``processes`` — see :mod:`repro.coordinator.execution`): the parallel
+backends run the candidate passes on worker pools and commit decisions per
+conflict group, and must still be bit-for-bit identical to the seed.
+
 Equality is asserted bit-for-bit at every epoch: the responses sent back to
 objects, the bookkeeping counters, the full index contents (ids, geometry,
 creation times), the hotness table and the top-k under both rankings.  Any
@@ -34,12 +39,17 @@ from repro.simulation.engine import HotPathSimulation, SimulationConfig
 
 BOUNDS = Rectangle(Point(0.0, 0.0), Point(1000.0, 1000.0))
 SHARD_COUNTS = (4, 16)  # 2x2 and 4x4
+PARALLEL_BACKENDS = ("threads", "processes")
 
 
-def make_coordinator(num_shards: int, window: int = 60) -> Coordinator:
+def make_coordinator(num_shards: int, window: int = 60, backend: str = "serial") -> Coordinator:
     return Coordinator(
         CoordinatorConfig(
-            bounds=BOUNDS, window=window, cells_per_axis=32, num_shards=num_shards
+            bounds=BOUNDS,
+            window=window,
+            cells_per_axis=32,
+            num_shards=num_shards,
+            backend=backend,
         )
     )
 
@@ -103,20 +113,23 @@ def synthetic_stream(seed: int, epochs: int = 8, per_epoch: int = 30) -> List[Tu
 def drive(coordinator: Coordinator, stream) -> List[Dict]:
     """Feed the stream epoch by epoch, snapshotting after every epoch."""
     trace = []
-    for boundary, states in stream:
-        for state in states:
-            coordinator.submit_state(state)
-        outcome = coordinator.run_epoch(boundary)
-        trace.append(
-            {
-                "responses": outcome.responses,
-                "states_processed": outcome.states_processed,
-                "paths_inserted": outcome.paths_inserted,
-                "paths_reused": outcome.paths_reused,
-                "paths_expired": outcome.paths_expired,
-                "snapshot": index_snapshot(coordinator),
-            }
-        )
+    try:
+        for boundary, states in stream:
+            for state in states:
+                coordinator.submit_state(state)
+            outcome = coordinator.run_epoch(boundary)
+            trace.append(
+                {
+                    "responses": outcome.responses,
+                    "states_processed": outcome.states_processed,
+                    "paths_inserted": outcome.paths_inserted,
+                    "paths_reused": outcome.paths_reused,
+                    "paths_expired": outcome.paths_expired,
+                    "snapshot": index_snapshot(coordinator),
+                }
+            )
+    finally:
+        coordinator.close()
     return trace
 
 
@@ -148,6 +161,19 @@ class TestStreamDifferential:
         for epoch, (expected, actual) in enumerate(zip(seed_trace, sharded_trace)):
             assert actual == expected, f"divergence at epoch {epoch}"
 
+    @pytest.mark.parametrize("seed", [11, 42])
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_parallel_backend_trace_matches_seed(self, num_shards, backend, seed):
+        """2x2 and 4x4 fleets on the worker-pool backends, bit for bit."""
+        stream = synthetic_stream(seed)
+        seed_trace = drive(make_coordinator(1), stream)
+        parallel_trace = drive(make_coordinator(num_shards, backend=backend), stream)
+        for epoch, (expected, actual) in enumerate(zip(seed_trace, parallel_trace)):
+            assert actual == expected, (
+                f"backend={backend} diverged from the seed at epoch {epoch}"
+            )
+
     @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
     def test_sharded_coordinator_really_shards(self, num_shards):
         coordinator = make_coordinator(num_shards)
@@ -171,13 +197,14 @@ class TestSimulationDifferential:
     }
 
     @staticmethod
-    def _run(num_shards: int, seed: int, workload: str):
+    def _run(num_shards: int, seed: int, workload: str, backend: str = "serial"):
         params = TestSimulationDifferential.WORKLOADS[workload]
         config = SimulationConfig(
             tolerance=10.0,
             window=50,
             epoch_length=10,
             num_shards=num_shards,
+            backend=backend,
             seed=seed,
             network_config=NetworkConfig(area_size=2000.0, grid_nodes_per_axis=6, seed=seed),
             run_dp_baseline=False,
@@ -206,3 +233,11 @@ class TestSimulationDifferential:
             assert actual.paths_inserted == expected.paths_inserted
             assert actual.paths_reused == expected.paths_reused
             assert actual.paths_expired == expected.paths_expired
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_simulation_with_parallel_backend_matches_seed(self, backend):
+        baseline = self._run(1, 9, "agile")
+        parallel = self._run(16, 9, "agile", backend=backend)
+        assert index_snapshot(parallel.coordinator) == index_snapshot(baseline.coordinator)
+        assert parallel.top_k_paths() == baseline.top_k_paths()
+        assert parallel.top_k_score() == baseline.top_k_score()
