@@ -16,20 +16,37 @@ throughput regardless of cores — it is measured as the coordination-overhead
 baseline and for free-threaded builds; ``processes`` is the backend that can
 win on multi-core hardware, and on a single-core container both show their
 overhead rather than a speedup.
+
+The overlap-build table isolates the epoch's FSA overlap-structure stage:
+the ``global`` row is the single inline ``R_all`` build that used to be the
+pipeline's one remaining global phase, and the ``shard-local`` rows run the
+stage-2 worker pass (halo pools, deduped and shared-prefix-built) on every
+backend.  Shard-local work is larger in aggregate — halo pools overlap, so
+regions near boundaries are derived in several shards — which is the price
+of removing the serialization point; the win is that the per-shard builds
+parallelise with the candidate passes on multi-core machines.
 """
 
 from __future__ import annotations
 
 import os
+import random
+import time
 
 import pytest
 
+from repro.core.geometry import Point, Rectangle
+from repro.client.state import ObjectState
+from repro.coordinator.overlaps import FsaOverlapStructure
+from repro.coordinator.sharding import ShardRouter, plan_shard_overlaps
 from repro.experiments.config import scaled_simulation_config
 from repro.simulation.engine import HotPathSimulation
 
 SHARD_COUNTS = (1, 4, 16)
 BACKENDS = ("serial", "threads", "processes")
 BACKEND_SHARD_COUNTS = (4, 16)
+
+OVERLAP_BOUNDS = Rectangle(Point(0.0, 0.0), Point(1000.0, 1000.0))
 
 
 def _run(num_shards, experiment_scale, backend="serial"):
@@ -41,6 +58,60 @@ def _run(num_shards, experiment_scale, backend="serial"):
         run_naive_baseline=False,
     )
     return HotPathSimulation(config).run()
+
+
+def _overlap_epoch(num_states: int = 240, seed: int = 7):
+    """One epoch's worth of overlap-heavy states spread over a 4x4 fleet."""
+    rng = random.Random(seed)
+    states = []
+    for _ in range(num_states):
+        start = Point(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0))
+        centre = Point(start.x + rng.uniform(-150.0, 150.0), start.y + rng.uniform(-150.0, 150.0))
+        fsa = Rectangle.from_center(centre, rng.uniform(5.0, 80.0))
+        states.append(ObjectState(rng.randrange(num_states), start, 0, fsa.low, fsa.high, 10))
+    return states
+
+
+def _overlap_build_rows(repeats: int = 5):
+    """Time the epoch overlap-structure build: global vs shard-local per backend.
+
+    The global row is the pre-PR-3 serialization point (one structure from
+    every FSA, built inline); the shard-local rows run the stage-2 worker
+    pass of each execution backend over the overlap plan's distinct halo
+    pools (candidate buckets left empty to isolate the build).
+    """
+    states = _overlap_epoch()
+    grid_router = ShardRouter(OVERLAP_BOUNDS, window=60, cells_per_axis=32, num_shards=16)
+    buckets, fsas = {}, {}
+    for position, state in enumerate(states):
+        shard_id = grid_router.grid.shard_id_of(state.start)
+        buckets.setdefault(shard_id, []).append((position, state))
+        fsas[state.object_id] = state.fsa
+    plan = plan_shard_overlaps(grid_router.grid, buckets, fsas)
+
+    rows = []
+    started = time.perf_counter()
+    for _ in range(repeats):
+        structure = FsaOverlapStructure.build(fsas)
+    elapsed_ms = (time.perf_counter() - started) / repeats * 1000.0
+    rows.append(("global", "serial", elapsed_ms, 1, len(structure)))
+
+    for backend_name in BACKENDS:
+        router = ShardRouter(
+            OVERLAP_BOUNDS, window=60, cells_per_axis=32, num_shards=16, backend=backend_name
+        )
+        backend = router.pipeline.backend
+        try:
+            backend.map_candidate_buckets(router, {}, [], plan.pools)  # warm pools
+            started = time.perf_counter()
+            for _ in range(repeats):
+                _, structures = backend.map_candidate_buckets(router, {}, [], plan.pools)
+            elapsed_ms = (time.perf_counter() - started) / repeats * 1000.0
+            regions = sum(len(built) for built in structures)
+            rows.append(("shard-local", backend_name, elapsed_ms, len(plan.pools), regions))
+        finally:
+            router.pipeline.close()
+    return rows
 
 
 @pytest.mark.benchmark(group="sharding")
@@ -97,6 +168,20 @@ def test_sharding_scaling(benchmark, experiment_scale, record_result):
             lines.append(
                 f"{num_shards:>7d} {backend:>10} {backend_time:>14.4f} {speedup:>18.2f}"
             )
+
+    # Overlap-structure build: the pre-PR-3 global build vs the shard-local
+    # halo builds on every backend (one synthetic 240-state epoch, 4x4 fleet).
+    lines.append("")
+    lines.append("overlap-structure build (one 240-state epoch, 4x4 fleet, adaptive halo)")
+    overlap_header = (
+        f"{'mode':>12} {'backend':>10} {'build ms':>10} {'pools':>6} {'regions':>8}"
+    )
+    lines.append(overlap_header)
+    lines.append("-" * len(overlap_header))
+    for mode, backend, elapsed_ms, pools, regions in _overlap_build_rows():
+        lines.append(
+            f"{mode:>12} {backend:>10} {elapsed_ms:>10.3f} {pools:>6d} {regions:>8d}"
+        )
     record_result("sharding_scaling", "\n".join(lines))
 
     # Scale-out must never change the answer: identical top-k everywhere,

@@ -115,6 +115,17 @@ def build_parser() -> argparse.ArgumentParser:
             "results. Ignored when --shards is 1."
         ),
     )
+    run_parser.add_argument(
+        "--overlap-halo", type=int, default=None, metavar="H",
+        help=(
+            "halo of the shard-local FSA overlap structures, in rings of "
+            "neighbouring shards (0 = the shard's own FSAs only). Omit for the "
+            "adaptive exact halo, which stays bit-for-bit identical to the "
+            "central coordinator (below a saturated overlap-region cap); a "
+            "fixed halo bounds planning cost but may deviate when FSAs reach "
+            "past the ring. Ignored when --shards is 1."
+        ),
+    )
     run_parser.add_argument("--seed", type=int, default=42)
     run_parser.add_argument("--network-nodes", type=int, default=10, help="grid nodes per axis")
     run_parser.add_argument("--area", type=float, default=4000.0, help="area side length in metres")
@@ -153,6 +164,7 @@ def _command_run(args: argparse.Namespace) -> int:
         top_k=args.top_k,
         num_shards=args.shards,
         backend=args.backend,
+        overlap_halo=args.overlap_halo,
         seed=args.seed,
         network_config=NetworkConfig(area_size=args.area, grid_nodes_per_axis=args.network_nodes),
     )
@@ -161,7 +173,8 @@ def _command_run(args: argparse.Namespace) -> int:
     print(f"objects={config.num_objects} tolerance={config.tolerance} duration={config.duration}")
     if config.num_shards > 1:
         shards = result.coordinator.shard_statistics()
-        print(f"coordinator backend: {config.backend}")
+        halo = "adaptive" if config.overlap_halo is None else f"{config.overlap_halo} rings"
+        print(f"coordinator backend: {config.backend} (overlap halo: {halo})")
         print(
             f"coordinator shards: {shards['num_shards']:.0f} "
             f"(records per shard min/mean/max: {shards['min_shard_records']:.0f}"

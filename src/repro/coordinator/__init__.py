@@ -14,8 +14,9 @@ The tier runs in two layouts behind one interface:
   boundary are split by *endpoint-owner routing* — each endpoint entry lives
   with the shard owning its location while the record and hotness stay with
   the start owner.  Epochs run as a batched pipeline (group-by-shard intake,
-  one candidate pass per shard, deferred per-shard expiry drains) and the
-  global top-k is an exact merge of the per-shard hot paths.
+  one candidate pass and one halo-pooled FSA overlap structure per shard,
+  deferred per-shard expiry drains) and the global top-k is an exact merge
+  of the per-shard hot paths.
 
 The sharded layout is behaviour-identical to the single-shard one — the
 differential harness in ``tests/test_sharding_equivalence.py`` asserts

@@ -42,8 +42,15 @@ class CoordinatorConfig:
     single-shard structures of the paper.  ``backend`` selects how a sharded
     fleet executes its epoch pipeline — ``serial``, ``threads`` or
     ``processes`` (see :mod:`repro.coordinator.execution`); every backend is
-    bit-for-bit equivalent.  A single-shard coordinator always runs the
-    paper's inline strategy and ignores the backend.
+    bit-for-bit equivalent.  ``overlap_halo`` sizes the halo of the
+    shard-local FSA overlap structures: ``None`` (the default) is the
+    adaptive exact halo, still bit-for-bit with the seed coordinator (as
+    long as the overlap-region cap is not saturated — see
+    :mod:`repro.coordinator.sharding`); an
+    integer ``h >= 0`` fixes the halo at ``h`` rings of neighbouring shards,
+    trading exactness for bounded halo planning (the differential harness
+    quantifies the deviation).  A single-shard coordinator always runs the
+    paper's inline strategy and ignores the backend and the halo.
     """
 
     bounds: Rectangle
@@ -51,6 +58,7 @@ class CoordinatorConfig:
     cells_per_axis: int = 64
     num_shards: int = 1
     backend: str = "serial"
+    overlap_halo: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.window <= 0:
@@ -60,6 +68,10 @@ class CoordinatorConfig:
         if self.backend not in BACKEND_NAMES:
             raise ConfigurationError(
                 f"backend must be one of {', '.join(BACKEND_NAMES)}, got {self.backend!r}"
+            )
+        if self.overlap_halo is not None and self.overlap_halo < 0:
+            raise ConfigurationError(
+                f"overlap_halo must be None (adaptive) or >= 0, got {self.overlap_halo}"
             )
 
 
@@ -96,6 +108,7 @@ class Coordinator:
                 config.cells_per_axis,
                 config.num_shards,
                 backend=config.backend,
+                overlap_halo=config.overlap_halo,
             )
             self.index = self.router.index
             self.hotness = self.router.hotness

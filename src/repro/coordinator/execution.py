@@ -8,13 +8,15 @@ concurrently without giving up the bit-for-bit exactness contract of
 
 * :class:`SerialBackend` — the reference pipeline: every pass runs inline on
   the calling thread, decisions replay global submission order directly.
-* :class:`ThreadBackend` — per-shard candidate passes are submitted to a
-  thread pool; decisions commit concurrently, one thread per conflict group.
-* :class:`ProcessBackend` — candidate passes run in persistent worker
-  processes, each holding a replica of every shard's start-entry grid index
-  kept in sync through the router's mutation journal; decisions commit on an
-  in-process thread pool (index mutations must happen where the authoritative
-  state lives).
+* :class:`ThreadBackend` — per-shard candidate passes and shard-local
+  overlap-structure builds are submitted to a thread pool; decisions commit
+  concurrently, one thread per conflict group.
+* :class:`ProcessBackend` — candidate passes and overlap builds run in
+  persistent worker processes, each holding a replica of every shard's
+  start-entry grid index kept in sync through the router's mutation journal
+  (halo FSA pools are shipped per epoch and built structures return as
+  ordered region lists); decisions commit on an in-process thread pool
+  (index mutations must happen where the authoritative state lives).
 
 **Conflict groups.**  The decision stage of Algorithm 2 is sequential: within
 an epoch, later objects observe the paths and crossings earlier objects
@@ -59,8 +61,14 @@ vertex are transitively grouped together.
    the component too.
 2. *Reads.*  Case 1 candidate sets and their co-occurrence boost are computed
    before any decision runs, from the pre-epoch snapshot — identical in the
-   serial and grouped replays.  The FSA overlap structure is built once at
-   the same barrier and is read-only.  ``end_vertices_in(fsa)`` touches only
+   serial and grouped replays.  The shard-local FSA overlap structures are
+   built at the same barrier and are read-only; each group's decisions
+   consult their own shard's structure, which answers exactly like a global
+   build at the default adaptive halo (see the halo argument in
+   :mod:`repro.coordinator.sharding`), so grouped and serial replays read the
+   same regions.  The lemma above is halo-independent: a region's members are
+   reporters of this epoch whose FSAs all contain the region, wherever the
+   structure holding it was built.  ``end_vertices_in(fsa)`` touches only
    shards overlapping the FSA, and the ``paths_from_into`` reuse probe
    touches the shard of the probed endpoint (an FSA point or a lemma-covered
    centroid).  The one read that can leave the component... cannot: the
@@ -90,10 +98,12 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.errors import ConfigurationError
+from repro.core.geometry import Rectangle
 from repro.client.state import ObjectState
+from repro.coordinator.overlaps import FsaOverlapStructure, build_structures
 from repro.coordinator.single_path import CandidatePath, SinglePathDecision
 
 __all__ = [
@@ -111,6 +121,9 @@ BACKEND_NAMES: Tuple[str, ...] = ("serial", "threads", "processes")
 
 #: ``(position, state)`` pairs grouped by owning shard id.
 Buckets = Dict[int, List[Tuple[int, ObjectState]]]
+
+#: Distinct halo FSA pools of one epoch's overlap plan, in pool-index order.
+OverlapPools = Sequence[Mapping[int, Rectangle]]
 
 #: A conflict group: the positions of its member states, in submission order.
 Group = List[int]
@@ -199,8 +212,10 @@ def conflict_groups(states: Sequence[ObjectState], grid) -> List[Group]:
 class ExecutionBackend(ABC):
     """How the sharded epoch pipeline maps its stages onto workers.
 
-    ``map_candidate_buckets`` runs the read-only per-shard Case 1 candidate
-    passes; ``map_decision_groups`` replays the decision stage over conflict
+    ``map_candidate_buckets`` runs the read-only stage-2 worker pass: the
+    per-shard Case 1 candidate scans *and* the shard-local FSA overlap
+    structure builds (one per distinct halo pool of the epoch's overlap
+    plan); ``map_decision_groups`` replays the decision stage over conflict
     groups.  Backends with ``parallel_decisions = False`` never receive the
     latter call — the pipeline replays global submission order inline.
     ``needs_journal`` tells the router whether to record its mutation journal
@@ -213,9 +228,14 @@ class ExecutionBackend(ABC):
 
     @abstractmethod
     def map_candidate_buckets(
-        self, router, buckets: Buckets, states: Sequence[ObjectState]
-    ) -> List[Optional[List[CandidatePath]]]:
-        """Return the candidate set of every state, indexed by position."""
+        self,
+        router,
+        buckets: Buckets,
+        states: Sequence[ObjectState],
+        overlap_pools: OverlapPools = (),
+    ) -> Tuple[List[Optional[List[CandidatePath]]], List[FsaOverlapStructure]]:
+        """Return every state's candidate set (by position) and one built
+        overlap structure per pool (by pool index)."""
 
     def map_decision_groups(
         self, groups: List[Group], commit: GroupCommit
@@ -246,8 +266,9 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
     parallel_decisions = False
 
-    def map_candidate_buckets(self, router, buckets, states):
-        return self._candidates_inline(router, buckets, states)
+    def map_candidate_buckets(self, router, buckets, states, overlap_pools=()):
+        per_state = self._candidates_inline(router, buckets, states)
+        return per_state, build_structures(overlap_pools)
 
 
 class ThreadBackend(ExecutionBackend):
@@ -281,7 +302,7 @@ class ThreadBackend(ExecutionBackend):
             )
         return self._pool
 
-    def map_candidate_buckets(self, router, buckets, states):
+    def map_candidate_buckets(self, router, buckets, states, overlap_pools=()):
         pool = self._ensure_pool()
         per_state: List[Optional[List[CandidatePath]]] = [None] * len(states)
 
@@ -294,10 +315,28 @@ class ThreadBackend(ExecutionBackend):
                 )
             return answers
 
-        for answers in pool.map(run_buckets, _chunk(list(buckets.items()), self._workers)):
-            for position, candidates in answers:
+        def run_builds(items):
+            built = build_structures([fsa_pool for _index, fsa_pool in items])
+            return [(index, structure) for (index, _), structure in zip(items, built)]
+
+        # Candidate chunks and overlap builds share the pool; both are
+        # read-only, so they interleave freely across the workers.
+        bucket_futures = [
+            pool.submit(run_buckets, chunk)
+            for chunk in _chunk(list(buckets.items()), self._workers)
+        ]
+        build_futures = [
+            pool.submit(run_builds, chunk)
+            for chunk in _chunk(list(enumerate(overlap_pools)), self._workers)
+        ]
+        for future in bucket_futures:
+            for position, candidates in future.result():
                 per_state[position] = candidates
-        return per_state
+        structures: List[Optional[FsaOverlapStructure]] = [None] * len(overlap_pools)
+        for future in build_futures:
+            for index, structure in future.result():
+                structures[index] = structure
+        return per_state, structures
 
     def map_decision_groups(self, groups, commit):
         pool = self._ensure_pool()
@@ -323,10 +362,15 @@ def _process_worker_main(connection, shard_configs, snapshot_ops) -> None:
     worker is assigned — the only structure the candidate pass reads —
     bootstrapped from a snapshot of the live records and kept fresh by
     replaying the worker's slice of the router's mutation journal, and
-    answers batched ``paths_starting_at`` queries.
+    answers batched ``paths_starting_at`` queries.  It also builds its slice
+    of the epoch's shard-local overlap structures from the halo FSA pools the
+    parent ships (flat float tuples in pool order) and returns them as
+    serialized region lists — region order is part of the answer, because
+    first-encountered tie-breaks in the overlap queries depend on it.
     """
     from repro.core.geometry import Point, Rectangle
     from repro.coordinator.grid_index import GridConfig, GridIndex
+    from repro.coordinator.overlaps import build_structures as _build_structures
     from repro.core.motion_path import MotionPath, MotionPathRecord
 
     replicas: Dict[int, GridIndex] = {}
@@ -365,7 +409,7 @@ def _process_worker_main(connection, shard_configs, snapshot_ops) -> None:
         if kind == "stop":
             connection.close()
             return
-        _kind, ops, tasks = message
+        _kind, ops, tasks, overlap_tasks = message
         apply(ops)
         answers = []
         for position, shard_id, s_x, s_y, f_lx, f_ly, f_hx, f_hy in tasks:
@@ -373,7 +417,20 @@ def _process_worker_main(connection, shard_configs, snapshot_ops) -> None:
                 Point(s_x, s_y), Rectangle(Point(f_lx, f_ly), Point(f_hx, f_hy))
             )
             answers.append((position, [record.path_id for record in records]))
-        connection.send(answers)
+        pools = [
+            {
+                object_id: Rectangle(Point(f_lx, f_ly), Point(f_hx, f_hy))
+                for object_id, f_lx, f_ly, f_hx, f_hy in members
+            }
+            for _pool_index, members in overlap_tasks
+        ]
+        overlap_answers = [
+            (pool_index, structure.serialized())
+            for (pool_index, _members), structure in zip(
+                overlap_tasks, _build_structures(pools)
+            )
+        ]
+        connection.send((answers, overlap_answers))
 
 
 class ProcessBackend(ExecutionBackend):
@@ -485,7 +542,7 @@ class ProcessBackend(ExecutionBackend):
 
     # -- pipeline stages --------------------------------------------------------
 
-    def map_candidate_buckets(self, router, buckets, states):
+    def map_candidate_buckets(self, router, buckets, states, overlap_pools=()):
         self._ensure_workers(router)
         journal = router.journal
         journal_length = len(journal)
@@ -505,17 +562,35 @@ class ProcessBackend(ExecutionBackend):
                         state.fsa_high.y,
                     )
                 )
+        # Overlap builds ride the same round trip: each distinct halo pool is
+        # statically assigned to a worker (pool_index % workers) and shipped
+        # as flat float tuples; the worker returns the built structure as a
+        # serialized region list.
+        overlap_tasks_per_worker: List[list] = [[] for _ in self._processes]
+        worker_count = len(self._processes)
+        for pool_index, fsa_pool in enumerate(overlap_pools):
+            overlap_tasks_per_worker[pool_index % worker_count].append(
+                (
+                    pool_index,
+                    [
+                        (object_id, fsa.low.x, fsa.low.y, fsa.high.x, fsa.high.y)
+                        for object_id, fsa in fsa_pool.items()
+                    ],
+                )
+            )
         # One round trip per worker per epoch: every worker receives its
         # slice of the journal suffix it is missing (keeping all replicas
-        # fresh even on idle epochs) together with its shard buckets.
-        worker_count = len(self._processes)
+        # fresh even on idle epochs) together with its shard buckets and
+        # overlap pools.
         for worker, connection in enumerate(self._connections):
             ops = [
                 op
                 for op in journal[self._journal_seqs[worker] : journal_length]
                 if self._op_shard(op) % worker_count == worker
             ]
-            connection.send(("work", ops, tasks_per_worker[worker]))
+            connection.send(
+                ("work", ops, tasks_per_worker[worker], overlap_tasks_per_worker[worker])
+            )
             self._journal_seqs[worker] = journal_length
         # Every replica has now replayed its slice of the journal prefix, and
         # freshly spawned workers bootstrap from a snapshot instead of
@@ -524,14 +599,18 @@ class ProcessBackend(ExecutionBackend):
         del journal[:journal_length]
         self._journal_seqs = [seq - journal_length for seq in self._journal_seqs]
         per_state: List[Optional[List[CandidatePath]]] = [None] * len(states)
+        structures: List[Optional[FsaOverlapStructure]] = [None] * len(overlap_pools)
         index, hotness = router.index, router.hotness
         for connection in self._connections:
-            for position, path_ids in connection.recv():
+            answers, overlap_answers = connection.recv()
+            for position, path_ids in answers:
                 per_state[position] = [
                     CandidatePath(index.get(path_id), hotness.hotness(path_id) + 1)
                     for path_id in path_ids
                 ]
-        return per_state
+            for pool_index, regions in overlap_answers:
+                structures[pool_index] = FsaOverlapStructure.from_serialized(regions)
+        return per_state, structures
 
     def map_decision_groups(self, groups, commit):
         return self._decision_pool.map_decision_groups(groups, commit)

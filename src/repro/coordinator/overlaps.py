@@ -11,7 +11,16 @@ Computing every subset intersection is exponential; the structure here follows
 the paper's intent with a practical incremental construction: regions are the
 original FSAs plus intersections discovered by repeatedly intersecting new
 FSAs with existing regions, keeping for each resulting rectangle the set of
-contributing objects.  Queries used by SinglePath:
+contributing objects.  Because axis-aligned rectangles have Helly number two,
+the incremental construction is *order-independent* below the region cap: the
+stored regions are exactly the singletons plus every member subset whose
+common intersection has positive area, and the rectangle of a subset is the
+exact intersection of its members' FSAs regardless of insertion order.  That
+set-function property is what lets a sharded coordinator build one structure
+per shard from a halo-filtered FSA pool and still answer every query exactly
+as the global structure would (see :mod:`repro.coordinator.sharding`).
+
+Queries used by SinglePath:
 
 * :meth:`smallest_region_containing` — the region with the *fewest* members
   containing a vertex (its count bounds how many objects could adopt that
@@ -23,11 +32,22 @@ contributing objects.  Queries used by SinglePath:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.geometry import Point, Rectangle
 
-__all__ = ["OverlapRegion", "FsaOverlapStructure"]
+__all__ = [
+    "OverlapRegion",
+    "FsaOverlapStructure",
+    "SerializedRegion",
+    "build_structures",
+]
+
+#: Wire format of one region: ``(sorted member ids, low x, low y, high x, high y)``.
+#: Region order is preserved by the surrounding list, so a structure rebuilt
+#: with :meth:`FsaOverlapStructure.from_serialized` iterates its regions in
+#: exactly the original insertion order (tie-breaks depend on it).
+SerializedRegion = Tuple[Tuple[int, ...], float, float, float, float]
 
 
 @dataclass(frozen=True)
@@ -47,42 +67,102 @@ class FsaOverlapStructure:
     """The ``R_all`` structure of Algorithm 2: FSAs and their overlaps with counts."""
 
     def __init__(self, max_regions: int = 10000) -> None:
-        # Cap on the number of derived regions, guarding against pathological
-        # inputs where thousands of FSAs overlap pairwise; the cap trades a
-        # little candidate quality for bounded per-epoch work.
+        # Hard cap on the number of stored regions, guarding against
+        # pathological inputs where thousands of FSAs overlap pairwise; the
+        # cap trades a little candidate quality for bounded per-epoch work.
+        # ``len(self) <= max_regions`` always holds (see :meth:`add`).
         self._max_regions = max_regions
         self._regions: Dict[FrozenSet[int], Rectangle] = {}
 
     @classmethod
-    def build(cls, fsas: Dict[int, Rectangle], max_regions: int = 10000) -> "FsaOverlapStructure":
-        """Build the structure from ``object_id -> FSA`` of all reporting objects."""
-        structure = cls(max_regions)
+    def build(
+        cls,
+        fsas: Mapping[int, Rectangle],
+        max_regions: int = 10000,
+        base: Optional["FsaOverlapStructure"] = None,
+    ) -> "FsaOverlapStructure":
+        """Build the structure from ``object_id -> FSA`` of all reporting objects.
+
+        ``base`` resumes from a snapshot of an already-built structure instead
+        of starting empty — the shared-prefix path of :func:`build_structures`
+        (neighbouring shards see almost the same halo pool, so the common
+        prefix of their pools is built once).
+        """
+        structure = base.snapshot() if base is not None else cls(max_regions)
         for object_id, fsa in fsas.items():
             structure.add(object_id, fsa)
         return structure
 
+    def snapshot(self) -> "FsaOverlapStructure":
+        """A cheap independent copy (regions are immutable, the dict is not)."""
+        clone = FsaOverlapStructure(self._max_regions)
+        clone._regions = dict(self._regions)
+        return clone
+
     def add(self, object_id: int, fsa: Rectangle) -> None:
-        """Insert one object's FSA, deriving intersections with existing regions."""
-        new_regions: Dict[FrozenSet[int], Rectangle] = {}
+        """Insert one object's FSA, deriving intersections with existing regions.
+
+        Two deterministic guards bound the derivation:
+
+        * **Zero-area intersections are dropped.**  Edge-adjacent FSAs touch in
+          a degenerate rectangle; storing it would let the zero area win every
+          ``area <`` tie-break and surface as a fabricated-vertex region even
+          though no object can be *inside* it.  The singleton region of the FSA
+          itself is always kept, degenerate or not — it represents the FSA.
+        * **``max_regions`` is a hard bound with insertion-order priority.**
+          Derivation stops once the budget is exhausted and the final merge
+          never inserts a new member set into a full table (refinements of an
+          already-stored member set are always applied — they do not grow it).
+          Earlier-inserted FSAs therefore keep their derived overlaps when a
+          flood of late arrivals would otherwise overflow the table, and
+          ``len(self) <= max_regions`` holds unconditionally.
+
+        When the cap binds, a halo-filtered shard-local build may keep a
+        different subset of regions than the global build (both are
+        deterministic); below the cap the stored set is order-independent.
+        """
         singleton = frozenset([object_id])
-        new_regions[singleton] = fsa
-        if len(self._regions) < self._max_regions:
-            for members, rectangle in self._regions.items():
-                if object_id in members:
-                    continue
-                intersection = rectangle.intersection(fsa)
-                if intersection is None:
-                    continue
-                combined = members | singleton
-                existing = new_regions.get(combined)
-                if existing is None or intersection.area < existing.area:
-                    new_regions[combined] = intersection
-                if len(self._regions) + len(new_regions) >= self._max_regions:
-                    break
+        new_regions: Dict[FrozenSet[int], Rectangle] = {singleton: fsa}
+        for members, rectangle in self._regions.items():
+            if len(self._regions) + len(new_regions) >= self._max_regions:
+                break
+            if object_id in members:
+                continue
+            intersection = rectangle.intersection(fsa)
+            if intersection is None or intersection.is_degenerate():
+                continue
+            combined = members | singleton
+            existing = new_regions.get(combined)
+            if existing is None or intersection.area < existing.area:
+                new_regions[combined] = intersection
         for members, rectangle in new_regions.items():
             current = self._regions.get(members)
-            if current is None or rectangle.area < current.area:
+            if current is not None:
+                if rectangle.area < current.area:
+                    self._regions[members] = rectangle
+            elif len(self._regions) < self._max_regions:
                 self._regions[members] = rectangle
+
+    # -- serialization ---------------------------------------------------------------
+
+    def serialized(self) -> List[SerializedRegion]:
+        """Flat region list for shipping a worker-built structure to the parent."""
+        return [
+            (tuple(sorted(members)), rect.low.x, rect.low.y, rect.high.x, rect.high.y)
+            for members, rect in self._regions.items()
+        ]
+
+    @classmethod
+    def from_serialized(
+        cls, regions: Sequence[SerializedRegion], max_regions: int = 10000
+    ) -> "FsaOverlapStructure":
+        """Rebuild a structure from :meth:`serialized` output, preserving order."""
+        structure = cls(max_regions)
+        for members, low_x, low_y, high_x, high_y in regions:
+            structure._regions[frozenset(members)] = Rectangle(
+                Point(low_x, low_y), Point(high_x, high_y)
+            )
+        return structure
 
     # -- queries -------------------------------------------------------------------
 
@@ -148,3 +228,43 @@ class FsaOverlapStructure:
         if region is None:
             return None
         return (region.rectangle.center, region.count)
+
+
+def build_structures(
+    pools: Sequence[Mapping[int, Rectangle]], max_regions: int = 10000
+) -> List[FsaOverlapStructure]:
+    """Build one structure per FSA pool, sharing work across related pools.
+
+    The shared-prefix builder behind the shard-local overlap stage: pools are
+    processed in sorted key order so that a pool repeating another verbatim
+    reuses the same (read-only) structure object, and a pool extending another
+    pool's *prefix* resumes from its snapshot instead of rebuilding from
+    scratch.  Both shortcuts are bit-identical to an independent build —
+    :meth:`FsaOverlapStructure.add` is a pure function of the current region
+    table, so resuming from the prefix state reproduces the sequential build
+    exactly, hard cap included.
+    """
+    keys = [tuple(pool) for pool in pools]
+    structures: List[Optional[FsaOverlapStructure]] = [None] * len(pools)
+    # Stack of built (key, structure) pairs forming a prefix chain: popping
+    # until the top is a prefix of the current key leaves the *longest*
+    # already-built prefix, so sibling pools diverging in their tails (e.g.
+    # (1,2,3) then (1,2,4)) still resume from the shared (1,2) snapshot
+    # instead of rebuilding from scratch.
+    stack: List[Tuple[Tuple[int, ...], FsaOverlapStructure]] = []
+    for index in sorted(range(len(pools)), key=lambda i: keys[i]):
+        key, pool = keys[index], pools[index]
+        while stack and key[: len(stack[-1][0])] != stack[-1][0]:
+            stack.pop()
+        if stack and key == stack[-1][0]:
+            structures[index] = stack[-1][1]
+            continue
+        if stack:
+            base_key, base = stack[-1]
+            tail = {object_id: pool[object_id] for object_id in key[len(base_key):]}
+            structure = FsaOverlapStructure.build(tail, max_regions, base=base)
+        else:
+            structure = FsaOverlapStructure.build(pool, max_regions)
+        structures[index] = structure
+        stack.append((key, structure))
+    return structures

@@ -55,17 +55,42 @@ reproducing exactly the ids the serial replay allocates.  The full
 correctness argument lives in the :mod:`repro.coordinator.execution`
 docstring.
 
+**Sharded overlap structure.**  The epoch's FSA overlap structure (``R_all``
+of Algorithm 2) is partitioned by shard as well: stage 1 routes every
+reporting object's FSA to the shards its rectangle overlaps, and each shard
+with a bucket builds a *local* :class:`FsaOverlapStructure` from the FSAs of
+its **halo** — by default the adaptive exact halo, every shard any of the
+bucket's FSAs overlaps (see :func:`plan_shard_overlaps`).  The local build is
+exact, not approximate: every region relevant to a query the shard's strategy
+can issue (``smallest_region_containing`` on an end vertex inside a state's
+FSA, ``hottest_region_intersecting`` / ``candidate_vertex_for`` on the FSA
+itself) has all of its member FSAs intersecting that FSA, hence routed into
+the halo pool — so the local structure stores exactly the relevant regions of
+the global one, in the same relative order (the construction is a set
+function of the pool below the region cap, and pool order is the submission
+order filtered).  ``ShardRouter.overlap_halo`` trades this adaptive halo for
+a fixed ring of neighbouring shards: cheaper to plan, but FSAs reaching past
+the ring are truncated from the pool and decisions may deviate from the seed
+coordinator — the differential harness quantifies the deviation
+(``tests/test_sharding_equivalence.py::TestOverlapHalo``).
+
 **Exactness.**  The sharded coordinator is behaviour-identical to the
 single-shard coordinator, not an approximation: path ids come from one global
 counter, decisions execute in submission order against the same live state
 (or in conflict groups proven equivalent to it), every SinglePath tie-break
-is a total order (independent of candidate enumeration order), and the top-k
-merge ranks the union of per-shard hot paths with the same total key.
-``tests/test_sharding_equivalence.py`` holds the differential harness
-asserting bit-for-bit equality on full simulation workloads, for every
-execution backend.  The remaining cross-shard coupling — the FSA overlap
-structure of one epoch is built globally — is the price of exactness and is
-listed in the roadmap as the seam for approximate asynchronous shard workers.
+is a total order (independent of candidate enumeration order), shard-local
+overlap structures answer exactly like the global build (previous paragraph),
+and the top-k merge ranks the union of per-shard hot paths with the same
+total key.  ``tests/test_sharding_equivalence.py`` holds the differential
+harness asserting bit-for-bit equality on full simulation workloads, for
+every execution backend.  Two deliberate, documented exceptions: a fixed
+``overlap_halo`` relaxes exactness for bounded halo-planning cost (the
+harness quantifies the deviation rather than assuming it away), and a
+*saturated* overlap-region cap makes shard-local and global builds keep
+different — still deterministic — region subsets, because the capped
+construction is no longer a set function of its pool
+(:meth:`FsaOverlapStructure.add`; the default cap of 10000 sits far above
+any harness or benchmark epoch).
 """
 
 from __future__ import annotations
@@ -99,6 +124,8 @@ from repro.coordinator.single_path import (
 
 __all__ = [
     "shard_layout",
+    "OverlapPlan",
+    "plan_shard_overlaps",
     "ShardGrid",
     "Shard",
     "ShardRouter",
@@ -186,6 +213,82 @@ class ShardGrid:
             self.bounds.high.y if row == self.rows - 1 else low.y + self._shard_height,
         )
         return Rectangle(low, high)
+
+
+@dataclass
+class OverlapPlan:
+    """Per-shard FSA pools for the epoch's shard-local overlap structures.
+
+    ``pools`` holds the *distinct* pools only — neighbouring shards frequently
+    resolve to the identical halo pool, and the built structures are read-only
+    in the decision stage, so shards sharing a pool share one structure.
+    Every pool preserves the global submission order of its members, which
+    makes the shard-local build's region iteration order the global build's
+    order restricted to the pool (first-encountered tie-breaks depend on it).
+    """
+
+    #: ``shard_id -> index into pools`` for every shard with a bucket.
+    pool_of_shard: Dict[int, int]
+    #: Distinct ``object_id -> FSA`` pools, each in submission order.
+    pools: List[Dict[int, Rectangle]]
+
+
+def plan_shard_overlaps(
+    grid: "ShardGrid",
+    buckets: Dict[int, List[Tuple[int, "ObjectState"]]],
+    fsas: Dict[int, Rectangle],
+    halo: Optional[int] = None,
+) -> OverlapPlan:
+    """Assign every bucketed shard the FSA pool of its overlap halo.
+
+    ``fsas`` is the epoch's ``object_id -> final FSA`` map in submission order
+    (a duplicate reporter keeps its first position but the later FSA — the
+    same replacement the global build applies).  Each FSA is routed to every
+    shard its rectangle overlaps; a shard's pool is the union of the FSAs
+    routed to its *halo shards*:
+
+    * ``halo=None`` (the default) uses the **adaptive exact halo**: the shard
+      itself plus every shard overlapped by any FSA in its bucket.  Any FSA
+      intersecting a bucket state's FSA shares a shard with it (the grid's
+      span arithmetic is monotone, so the intersection's span is contained in
+      both spans), hence lands in the pool — the construction the equivalence
+      argument in the module docstring relies on.
+    * ``halo=h >= 0`` uses a **fixed ring**: all shards within Chebyshev
+      distance ``h`` in shard coordinates.  FSAs interacting only beyond the
+      ring are truncated away, so queries may deviate from the global build;
+      a ring covering the whole grid (``h >= max(rows, cols) - 1``) is again
+      exact.
+    """
+    spans = {
+        object_id: frozenset(grid.shard_ids_overlapping(fsa))
+        for object_id, fsa in fsas.items()
+    }
+    pool_of_shard: Dict[int, int] = {}
+    pools: List[Dict[int, Rectangle]] = []
+    index_of_members: Dict[Tuple[int, ...], int] = {}
+    for shard_id, bucket in buckets.items():
+        if halo is None:
+            halo_shards = {shard_id}
+            for _position, state in bucket:
+                halo_shards.update(grid.shard_ids_overlapping(state.fsa))
+        else:
+            row, col = divmod(shard_id, grid.cols)
+            halo_shards = {
+                ring_row * grid.cols + ring_col
+                for ring_row in range(max(0, row - halo), min(grid.rows, row + halo + 1))
+                for ring_col in range(max(0, col - halo), min(grid.cols, col + halo + 1))
+            }
+        members = tuple(
+            object_id for object_id, span in spans.items()
+            if not halo_shards.isdisjoint(span)
+        )
+        index = index_of_members.get(members)
+        if index is None:
+            index = len(pools)
+            index_of_members[members] = index
+            pools.append({object_id: fsas[object_id] for object_id in members})
+        pool_of_shard[shard_id] = index
+    return OverlapPlan(pool_of_shard, pools)
 
 
 @dataclass
@@ -404,7 +507,14 @@ class ShardedSinglePath:
         router = self._router
 
         # Stage 1: group the batch by owning shard — one dict operation per
-        # message — and collect the FSAs for the epoch's overlap structure.
+        # message — collect the FSAs for the epoch's overlap structures and
+        # route each FSA to the shards it overlaps (the overlap plan).
+        # Duplicate reporters: like the candidate dict below, ``fsas`` keeps
+        # only the *later* state's FSA per object — the overlap structures
+        # hold one FSA per object, not per state message, while both state
+        # messages are still decided against them.  This mirrors the
+        # single-shard strategy bit for bit and is pinned by
+        # tests/test_overlaps.py::TestDuplicateReports.
         routed: List[Tuple[ObjectState, Shard]] = []
         buckets: Dict[int, List[Tuple[int, ObjectState]]] = {}
         fsas: Dict[int, Rectangle] = {}
@@ -413,29 +523,41 @@ class ShardedSinglePath:
             routed.append((state, shard))
             buckets.setdefault(shard.shard_id, []).append((position, state))
             fsas[state.object_id] = state.fsa
+        plan = plan_shard_overlaps(router.grid, buckets, fsas, router.overlap_halo)
 
         # Stage 2: per-shard candidate generation, one pass over each bucket,
-        # mapped onto the backend's workers (the pass is read-only).
-        # Candidate paths start at the object's SSA start, which the bucket's
-        # shard owns, so no cross-shard traffic happens here.  The per-object
-        # dict is rebuilt in submission order afterwards: when one object
-        # reports twice in an epoch the single-shard strategy keeps the later
-        # state's candidates, and bucket order must not change which one wins.
-        per_state = self.backend.map_candidate_buckets(router, buckets, states)
+        # mapped onto the backend's workers together with the shard-local
+        # overlap-structure builds (both are read-only).  Candidate paths
+        # start at the object's SSA start, which the bucket's shard owns, so
+        # no cross-shard traffic happens here.  The per-object dict is
+        # rebuilt in submission order afterwards: when one object reports
+        # twice in an epoch the single-shard strategy keeps the later state's
+        # candidates, and bucket order must not change which one wins.
+        per_state, structures = self.backend.map_candidate_buckets(
+            router, buckets, states, plan.pools
+        )
         candidate_paths: Dict[int, List[CandidatePath]] = {}
         for position, state in enumerate(states):
             candidate_paths[state.object_id] = per_state[position]
-        overlaps = FsaOverlapStructure.build(fsas)
+        overlaps_of: Dict[int, FsaOverlapStructure] = {
+            shard_id: structures[index] for shard_id, index in plan.pool_of_shard.items()
+        }
         apply_co_occurrence_boost(candidate_paths)
 
         # Stage 3: decisions in global submission order.  Sequential order is
         # what makes the pipeline exact: within an epoch, later objects see
         # the paths and crossings earlier objects produced, exactly as the
-        # single-shard strategy interleaves them.
+        # single-shard strategy interleaves them.  Every decision consults
+        # its own shard's local overlap structure, which answers exactly like
+        # the global build (module docstring) at the default adaptive halo.
         if not self.backend.parallel_decisions:
             for state, shard in routed:
                 result.tally(
-                    shard.strategy.decide(state, candidate_paths[state.object_id], overlaps)
+                    shard.strategy.decide(
+                        state,
+                        candidate_paths[state.object_id],
+                        overlaps_of[shard.shard_id],
+                    )
                 )
             return result
 
@@ -456,7 +578,9 @@ class ShardedSinglePath:
                         (
                             position,
                             shard.strategy.decide(
-                                state, candidate_paths[state.object_id], overlaps
+                                state,
+                                candidate_paths[state.object_id],
+                                overlaps_of[shard.shard_id],
                             ),
                         )
                     )
@@ -496,10 +620,19 @@ class ShardRouter:
         cells_per_axis: int,
         num_shards: int,
         backend: Union[str, ExecutionBackend] = "serial",
+        overlap_halo: Optional[int] = None,
     ) -> None:
         rows, cols = shard_layout(num_shards)
         self.grid = ShardGrid(bounds, rows, cols)
         self.global_grid_config = GridConfig(bounds, cells_per_axis)
+        if overlap_halo is not None and overlap_halo < 0:
+            raise ConfigurationError(
+                f"overlap_halo must be None (adaptive) or >= 0, got {overlap_halo}"
+            )
+        #: Halo of the shard-local overlap structures: ``None`` = adaptive
+        #: exact halo (bit-for-bit with the global build), ``h`` = fixed ring
+        #: of ``h`` neighbouring shards (see :func:`plan_shard_overlaps`).
+        self.overlap_halo = overlap_halo
         #: Mutation journal replayed by process-backend replicas: one compact
         #: tuple per insert/delete, appended in commit order.  Recorded only
         #: when the backend consumes it (``needs_journal``), and truncated by

@@ -176,9 +176,11 @@ class SinglePathStrategy:
             vertex, count = fabricated
             candidates.append(CandidateVertex(vertex, count, fabricated=True))
         if not candidates:
-            # Degenerate fall-back: nothing intersects (cannot normally happen,
-            # since the object's own FSA is part of the overlap structure), so
-            # use the FSA centroid with zero hotness.
+            # Degenerate fall-back: nothing intersects.  The object's own FSA
+            # normally sits in the overlap structure as its singleton region,
+            # but a saturated ``max_regions`` table drops late singletons (the
+            # hard cap keeps earlier insertions), so use the FSA centroid with
+            # zero hotness.
             candidates.append(CandidateVertex(state.fsa.center, 0, fabricated=True))
         return candidates
 

@@ -132,6 +132,7 @@ def scaled_simulation_config(
     cells_per_axis: int = 64,
     num_shards: int = 1,
     backend: str = "serial",
+    overlap_halo: Optional[int] = None,
     seed: int = 42,
 ) -> SimulationConfig:
     """Build a :class:`SimulationConfig` from paper defaults, scaled for Python.
@@ -162,6 +163,7 @@ def scaled_simulation_config(
         cells_per_axis=cells_per_axis,
         num_shards=num_shards,
         backend=backend,
+        overlap_halo=overlap_halo,
         seed=seed,
         run_dp_baseline=run_dp_baseline,
         run_naive_baseline=run_naive_baseline,

@@ -55,6 +55,10 @@ class SimulationConfig:
     ``backend`` selects the fleet's epoch execution backend (``serial``,
     ``threads`` or ``processes``); sharding and every backend are
     behaviour-identical, so results are comparable across values.
+    ``overlap_halo`` sizes the halo of the fleet's shard-local FSA overlap
+    structures (``None`` = adaptive exact halo, behaviour-identical below a
+    saturated region cap; ``h`` = fixed ring of ``h`` neighbouring shards,
+    which may deviate).
     """
 
     num_objects: int = 20000
@@ -70,6 +74,7 @@ class SimulationConfig:
     cells_per_axis: int = 64
     num_shards: int = 1
     backend: str = "serial"
+    overlap_halo: Optional[int] = None
     seed: int = 42
     report_uncertainty: bool = False
     run_dp_baseline: bool = True
@@ -154,6 +159,7 @@ class HotPathSimulation:
                 cells_per_axis=config.cells_per_axis,
                 num_shards=config.num_shards,
                 backend=config.backend,
+                overlap_halo=config.overlap_halo,
             )
         )
         self.dp_baseline: Optional[DPHotSegmentTracker] = None

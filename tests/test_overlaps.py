@@ -106,10 +106,109 @@ class TestQueries:
         structure = self._three_way()
         assert structure.candidate_vertex_for(rect(200, 200, 210, 210)) is None
 
-    def test_region_cap_limits_growth(self):
+    def test_region_cap_is_a_hard_bound(self):
+        """Regression: the cap used to be soft — ``add`` only stopped *deriving*
+        after the table overshot, and the final merge inserted every derived
+        region regardless, so overlapping-FSA floods grew past ``max_regions``."""
         structure = FsaOverlapStructure(max_regions=5)
         for i in range(20):
             structure.add(i, rect(i * 0.1, 0, i * 0.1 + 10, 10))
-        # All singletons are always stored; derived overlaps are capped.
-        assert len(structure) >= 20
-        assert len(structure) < 20 + 200
+            assert len(structure) <= 5
+        assert len(structure) == 5
+
+    def test_region_cap_keeps_earlier_insertions(self):
+        """Insertion-order priority: early FSAs and their overlaps keep their
+        slots; late arrivals into a full table are dropped deterministically."""
+        structure = FsaOverlapStructure(max_regions=3)
+        structure.add(1, rect(0, 0, 10, 10))
+        structure.add(2, rect(5, 5, 15, 15))  # fills the table: {1}, {2}, {1,2}
+        before = {region.members: region.rectangle for region in structure.regions()}
+        structure.add(3, rect(0, 0, 20, 20))  # overlaps everything, but no room
+        assert {region.members: region.rectangle for region in structure.regions()} == before
+
+    def test_region_cap_flood_stays_deterministic(self):
+        """A pairwise-overlapping flood never exceeds the cap and two identical
+        builds keep the exact same regions in the exact same order."""
+        fsas = {i: rect(i * 0.5, 0.0, i * 0.5 + 50.0, 50.0) for i in range(40)}
+        first = FsaOverlapStructure.build(fsas, max_regions=25)
+        second = FsaOverlapStructure.build(fsas, max_regions=25)
+        assert len(first) <= 25
+        assert [(r.members, r.rectangle) for r in first.regions()] == [
+            (r.members, r.rectangle) for r in second.regions()
+        ]
+
+
+class TestZeroAreaIntersections:
+    """Edge-adjacent FSAs must not create degenerate derived regions."""
+
+    def test_edge_touching_fsas_store_no_derived_region(self):
+        structure = FsaOverlapStructure.build(
+            {1: rect(0, 0, 10, 10), 2: rect(10, 0, 20, 10)}  # share the x=10 edge
+        )
+        assert {region.members for region in structure.regions()} == {
+            frozenset({1}),
+            frozenset({2}),
+        }
+
+    def test_zero_area_region_cannot_win_smallest_containing(self):
+        """Regression: the degenerate {1,2} seam (area 0) used to beat the real
+        singletons in the ``area <`` tie-break of smallest_region_containing."""
+        structure = FsaOverlapStructure.build(
+            {1: rect(0, 0, 10, 10), 2: rect(10, 0, 20, 10)}
+        )
+        region = structure.smallest_region_containing(Point(10.0, 5.0))
+        assert region is not None
+        assert region.count == 1
+        assert not region.rectangle.is_degenerate()
+
+    def test_zero_area_region_not_returned_for_fabrication(self):
+        """Regression: hottest_region_intersecting could hand out the seam,
+        fabricating a vertex in a region no object can be strictly inside."""
+        structure = FsaOverlapStructure.build(
+            {1: rect(0, 0, 10, 10), 2: rect(10, 0, 20, 10)}
+        )
+        region = structure.hottest_region_intersecting(rect(8, 0, 12, 10))
+        assert region is not None
+        assert region.count == 1
+
+    def test_corner_touching_fsas_store_no_derived_region(self):
+        structure = FsaOverlapStructure.build(
+            {1: rect(0, 0, 10, 10), 2: rect(10, 10, 20, 20)}  # share one corner
+        )
+        assert len(structure) == 2
+
+    def test_degenerate_singleton_is_kept(self):
+        """The singleton region *is* the FSA; a degenerate FSA still counts."""
+        structure = FsaOverlapStructure.build({1: rect(5, 5, 5, 5)})
+        assert len(structure) == 1
+
+
+class TestDuplicateReports:
+    """One object reporting twice in an epoch: the later FSA wins in R_all.
+
+    This pins the intended semantics of ``fsas[state.object_id] = state.fsa``
+    in the epoch pipelines (see the stage-1 comment in
+    :mod:`repro.coordinator.sharding`): the structure holds one FSA per
+    *object*, not per state message, and a re-report replaces the earlier FSA
+    while both state messages are still decided against the structure.
+    """
+
+    def test_build_keeps_later_fsa_per_object(self):
+        earlier, later = rect(0, 0, 10, 10), rect(100, 100, 110, 110)
+        fsas = {}
+        for object_id, fsa in ((7, earlier), (8, rect(3, 3, 12, 12)), (7, later)):
+            fsas[object_id] = fsa
+        structure = FsaOverlapStructure.build(fsas)
+        regions = {region.members: region.rectangle for region in structure.regions()}
+        assert regions[frozenset({7})] == later
+        # The earlier FSA contributes nothing: no overlap with object 8 remains.
+        assert frozenset({7, 8}) not in regions
+
+    def test_serialized_round_trip_preserves_region_order(self):
+        structure = FsaOverlapStructure.build(
+            {1: rect(0, 0, 10, 10), 2: rect(6, 0, 16, 10), 3: rect(3, 5, 13, 15)}
+        )
+        rebuilt = FsaOverlapStructure.from_serialized(structure.serialized())
+        assert [(r.members, r.rectangle) for r in rebuilt.regions()] == [
+            (r.members, r.rectangle) for r in structure.regions()
+        ]
