@@ -17,6 +17,14 @@ baseline and for free-threaded builds; ``processes`` is the backend that can
 win on multi-core hardware, and on a single-core container both show their
 overhead rather than a speedup.
 
+The stitching table isolates the corridor-stitching merge pass: the
+``global`` row stitches one flat hot-path list (the seed coordinator's
+long-path report, ``stitch_paths``), and the ``shard-merge`` rows run
+``ShardRouter.stitch_epoch`` — per-shard weld passes on each execution
+backend plus the cross-boundary merge — over the identical hot set, so the
+delta is the cost of distributing the stitch.  Every row must produce the
+identical corridors (the stitching exactness contract).
+
 The overlap-build table isolates the epoch's FSA overlap-structure stage:
 the ``global`` row is the single inline ``R_all`` build that used to be the
 pipeline's one remaining global phase, and the ``shard-local`` rows run the
@@ -36,9 +44,15 @@ import time
 import pytest
 
 from repro.core.geometry import Point, Rectangle
+from repro.core.motion_path import MotionPath
 from repro.client.state import ObjectState
-from repro.coordinator.overlaps import FsaOverlapStructure
+from repro.coordinator.overlaps import (
+    DerivedRegionCache,
+    FsaOverlapStructure,
+    build_structures,
+)
 from repro.coordinator.sharding import ShardRouter, plan_shard_overlaps
+from repro.coordinator.stitching import stitch_paths
 from repro.experiments.config import scaled_simulation_config
 from repro.simulation.engine import HotPathSimulation
 
@@ -96,6 +110,31 @@ def _overlap_build_rows(repeats: int = 5):
     elapsed_ms = (time.perf_counter() - started) / repeats * 1000.0
     rows.append(("global", "serial", elapsed_ms, 1, len(structure)))
 
+    # The cross-pool derived-region cache (PR 4, opt-in): halo pools overlap,
+    # so boundary regions are derived once per pool; the cache shares them by
+    # member set.  Both directions are measured — the sharing it finds *and*
+    # what the sharing costs — which is why the epoch pipeline builds
+    # cacheless by default (member-set hashing outweighs the saved
+    # four-comparison intersections at epoch-sized pools).
+    started = time.perf_counter()
+    for _ in range(repeats):
+        build_structures(plan.pools)
+    uncached_ms = (time.perf_counter() - started) / repeats * 1000.0
+    started = time.perf_counter()
+    for _ in range(repeats):
+        cache = DerivedRegionCache()
+        build_structures(plan.pools, cache=cache)
+    cached_ms = (time.perf_counter() - started) / repeats * 1000.0
+    cache_note = (
+        f"derived-region cache (opt-in) over {len(plan.pools)} halo pools: "
+        f"{cache.hits} hits / {cache.misses} misses "
+        f"({cache.hits / (cache.hits + cache.misses) * 100.0:.1f}% of derivations shared); "
+        f"inline build {uncached_ms:.1f} ms cacheless vs {cached_ms:.1f} ms cached "
+        "(the sharing is real, the hashing costs more — pipeline stays cacheless)"
+        if cache.hits + cache.misses
+        else "derived-region cache: no derivations"
+    )
+
     for backend_name in BACKENDS:
         router = ShardRouter(
             OVERLAP_BOUNDS, window=60, cells_per_axis=32, num_shards=16, backend=backend_name
@@ -109,6 +148,74 @@ def _overlap_build_rows(repeats: int = 5):
             elapsed_ms = (time.perf_counter() - started) / repeats * 1000.0
             regions = sum(len(built) for built in structures)
             rows.append(("shard-local", backend_name, elapsed_ms, len(plan.pools), regions))
+        finally:
+            router.pipeline.close()
+    return rows, cache_note
+
+
+def _chained_hot_router(backend: str = "serial") -> ShardRouter:
+    """A 4x4 fleet whose hot set is ~600 chained fragments (random walks
+    crossing shard borders), the workload of the stitching table."""
+    router = ShardRouter(
+        OVERLAP_BOUNDS, window=10**6, cells_per_axis=32, num_shards=16, backend=backend
+    )
+    rng = random.Random(11)
+    timestamp = 0
+    for _walk in range(80):
+        point = Point(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0))
+        for _step in range(8):
+            target = Point(
+                min(max(point.x + rng.uniform(-180.0, 180.0), 0.0), 1000.0),
+                min(max(point.y + rng.uniform(-180.0, 180.0), 0.0), 1000.0),
+            )
+            if target == point:
+                continue
+            record = router.insert(MotionPath(point, target), created_at=timestamp)
+            router.hotness.record_crossing(record.path_id, timestamp)
+            point = target
+        timestamp += 1
+    return router
+
+
+def _stitch_rows(repeats: int = 5):
+    """Time the corridor-stitching merge: global reference vs per-backend
+    ``stitch_epoch`` over the identical chained hot set (and assert every
+    row produces the identical corridors)."""
+    rows = []
+    reference_router = _chained_hot_router()
+    hot = [
+        (reference_router.index.get(path_id), hotness)
+        for path_id, hotness in sorted(reference_router.hotness.items())
+    ]
+    started = time.perf_counter()
+    for _ in range(repeats):
+        reference = stitch_paths(hot)
+    elapsed_ms = (time.perf_counter() - started) / repeats * 1000.0
+    reference_ids = [corridor.path_ids for corridor in reference]
+    multi = sum(1 for corridor in reference if corridor.num_segments > 1)
+    rows.append(("global", "serial", elapsed_ms, len(hot), len(reference), multi, 0))
+
+    for backend_name in BACKENDS:
+        router = _chained_hot_router(backend_name)
+        try:
+            router.stitch_epoch()  # warm the worker pools
+            started = time.perf_counter()
+            for _ in range(repeats):
+                corridors = router.stitch_epoch()
+            elapsed_ms = (time.perf_counter() - started) / repeats * 1000.0
+            stats = router.stitch_stats
+            assert [c.path_ids for c in corridors] == reference_ids
+            rows.append(
+                (
+                    "shard-merge",
+                    backend_name,
+                    elapsed_ms,
+                    stats["fragments"],
+                    stats["corridors"],
+                    stats["multi_segment_corridors"],
+                    stats["boundary_welds"],
+                )
+            )
         finally:
             router.pipeline.close()
     return rows
@@ -178,9 +285,28 @@ def test_sharding_scaling(benchmark, experiment_scale, record_result):
     )
     lines.append(overlap_header)
     lines.append("-" * len(overlap_header))
-    for mode, backend, elapsed_ms, pools, regions in _overlap_build_rows():
+    overlap_rows, cache_note = _overlap_build_rows()
+    for mode, backend, elapsed_ms, pools, regions in overlap_rows:
         lines.append(
             f"{mode:>12} {backend:>10} {elapsed_ms:>10.3f} {pools:>6d} {regions:>8d}"
+        )
+    lines.append(cache_note)
+
+    # Corridor stitching: the global reference stitch vs the distributed
+    # per-shard weld passes + merge on every backend (identical hot set,
+    # identical corridors — the table records the cost of distribution).
+    lines.append("")
+    lines.append("corridor stitching (~600 chained hot fragments, 4x4 fleet)")
+    stitch_header = (
+        f"{'mode':>12} {'backend':>10} {'stitch ms':>10} {'fragments':>10} "
+        f"{'corridors':>10} {'multi-seg':>10} {'boundary welds':>15}"
+    )
+    lines.append(stitch_header)
+    lines.append("-" * len(stitch_header))
+    for mode, backend, elapsed_ms, fragments, corridors, multi, welds in _stitch_rows():
+        lines.append(
+            f"{mode:>12} {backend:>10} {elapsed_ms:>10.3f} {fragments:>10d} "
+            f"{corridors:>10d} {multi:>10d} {welds:>15d}"
         )
     record_result("sharding_scaling", "\n".join(lines))
 

@@ -36,6 +36,7 @@ from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import run_figure9, run_figure10
 from repro.experiments.report import ablation_rows_to_csv, write_experiment_bundle, write_sweep_csv
 from repro.coordinator.execution import BACKEND_NAMES
+from repro.coordinator.stitching import STITCHING_MODES, select_top_k_corridors
 from repro.network.generator import NetworkConfig
 from repro.simulation.engine import HotPathSimulation, SimulationConfig
 
@@ -84,7 +85,8 @@ def build_parser() -> argparse.ArgumentParser:
             "examples:\n"
             "  python -m repro run --objects 500 --tolerance 10 --duration 150\n"
             "  python -m repro run --objects 2000 --shards 4 --backend threads\n"
-            "  python -m repro run --shards 16 --backend processes --top-k 20"
+            "  python -m repro run --shards 16 --backend processes --top-k 20\n"
+            "  python -m repro run --shards 4 --stitching off   # corridors truncate at shard borders"
         ),
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
@@ -126,6 +128,18 @@ def build_parser() -> argparse.ArgumentParser:
             "past the ring. Ignored when --shards is 1."
         ),
     )
+    run_parser.add_argument(
+        "--stitching", choices=STITCHING_MODES, default="exact",
+        help=(
+            "cross-shard corridor stitching: 'exact' (default) chains hot motion "
+            "paths welded end-to-start into composite corridors across shard "
+            "boundaries, bit-for-bit equal to the central coordinator's long-path "
+            "report; 'off' skips the cross-shard merge, so corridors truncate at "
+            "shard boundaries (individual paths are identical either way). With "
+            "--shards 1 there are no boundaries and both modes report the full "
+            "stitch."
+        ),
+    )
     run_parser.add_argument("--seed", type=int, default=42)
     run_parser.add_argument("--network-nodes", type=int, default=10, help="grid nodes per axis")
     run_parser.add_argument("--area", type=float, default=4000.0, help="area side length in metres")
@@ -165,6 +179,7 @@ def _command_run(args: argparse.Namespace) -> int:
         num_shards=args.shards,
         backend=args.backend,
         overlap_halo=args.overlap_halo,
+        stitching=args.stitching,
         seed=args.seed,
         network_config=NetworkConfig(area_size=args.area, grid_nodes_per_axis=args.network_nodes),
     )
@@ -174,11 +189,15 @@ def _command_run(args: argparse.Namespace) -> int:
     if config.num_shards > 1:
         shards = result.coordinator.shard_statistics()
         halo = "adaptive" if config.overlap_halo is None else f"{config.overlap_halo} rings"
-        print(f"coordinator backend: {config.backend} (overlap halo: {halo})")
+        print(
+            f"coordinator backend: {config.backend} (overlap halo: {halo}, "
+            f"stitching: {config.stitching})"
+        )
         print(
             f"coordinator shards: {shards['num_shards']:.0f} "
             f"(records per shard min/mean/max: {shards['min_shard_records']:.0f}"
-            f"/{shards['mean_shard_records']:.1f}/{shards['max_shard_records']:.0f})"
+            f"/{shards['mean_shard_records']:.1f}/{shards['max_shard_records']:.0f}, "
+            f"boundary-straddling paths: {shards['straddling_paths']:.0f})"
         )
     print(f"index size (final / mean per epoch): {summary['final_index_size']:.0f} / {summary['mean_index_size']:.1f}")
     print(f"top-{config.top_k} score (mean per epoch):  {summary['mean_top_k_score']:.1f}")
@@ -194,6 +213,25 @@ def _command_run(args: argparse.Namespace) -> int:
             f"  {rank:2d}. hotness={scored.hotness:<3d} length={scored.path.length:8.1f} "
             f"({scored.path.start.x:.1f}, {scored.path.start.y:.1f}) -> "
             f"({scored.path.end.x:.1f}, {scored.path.end.y:.1f})"
+        )
+    corridors = result.hot_corridors()
+    stitched = sum(1 for corridor in corridors if corridor.num_segments > 1)
+    print(
+        f"\ntop-{config.top_k} composite corridors "
+        f"({len(corridors)} total, {stitched} stitched from multiple paths"
+        + (
+            ", cross-shard merge off"
+            if config.stitching == "off" and config.num_shards > 1
+            else ""
+        )
+        + "):"
+    )
+    for rank, corridor in enumerate(select_top_k_corridors(corridors, config.top_k), start=1):
+        print(
+            f"  {rank:2d}. segments={corridor.num_segments:<2d} hotness={corridor.hotness:<3d} "
+            f"length={corridor.length:8.1f} score={corridor.score:10.1f} "
+            f"({corridor.start.x:.1f}, {corridor.start.y:.1f}) -> "
+            f"({corridor.end.x:.1f}, {corridor.end.y:.1f})"
         )
     return 0
 

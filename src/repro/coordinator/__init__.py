@@ -16,7 +16,10 @@ The tier runs in two layouts behind one interface:
   the start owner.  Epochs run as a batched pipeline (group-by-shard intake,
   one candidate pass and one halo-pooled FSA overlap structure per shard,
   deferred per-shard expiry drains) and the global top-k is an exact merge
-  of the per-shard hot paths.
+  of the per-shard hot paths.  Hot paths welded end-to-start are stitched
+  into cross-shard *composite corridors*
+  (:mod:`repro.coordinator.stitching`) — recomputed lazily after each
+  epoch's commit — and reported through the corridor-aware top-k merge.
 
 The sharded layout is behaviour-identical to the single-shard one — the
 differential harness in ``tests/test_sharding_equivalence.py`` asserts
@@ -36,6 +39,13 @@ from repro.coordinator.sharding import (
     shard_layout,
 )
 from repro.coordinator.single_path import SinglePathStrategy
+from repro.coordinator.stitching import (
+    STITCHING_MODES,
+    CompositeCorridor,
+    CorridorSegment,
+    select_top_k_corridors,
+    stitch_paths,
+)
 from repro.coordinator.coordinator import Coordinator, CoordinatorConfig, EpochOutcome
 
 __all__ = [
@@ -52,6 +62,11 @@ __all__ = [
     "ShardedHotnessTracker",
     "ShardedSinglePath",
     "shard_layout",
+    "STITCHING_MODES",
+    "CompositeCorridor",
+    "CorridorSegment",
+    "select_top_k_corridors",
+    "stitch_paths",
     "Coordinator",
     "CoordinatorConfig",
     "EpochOutcome",

@@ -27,6 +27,12 @@ from repro.coordinator.grid_index import GridConfig, GridIndex
 from repro.coordinator.hotness import HotnessTracker
 from repro.coordinator.sharding import ShardRouter
 from repro.coordinator.single_path import SinglePathStrategy
+from repro.coordinator.stitching import (
+    STITCHING_MODES,
+    CompositeCorridor,
+    select_top_k_corridors,
+    stitch_paths,
+)
 
 __all__ = ["CoordinatorConfig", "EpochOutcome", "Coordinator"]
 
@@ -51,6 +57,18 @@ class CoordinatorConfig:
     trading exactness for bounded halo planning (the differential harness
     quantifies the deviation).  A single-shard coordinator always runs the
     paper's inline strategy and ignores the backend and the halo.
+
+    ``stitching`` controls the corridor report
+    (:meth:`Coordinator.hot_corridors`): ``exact`` (the default) chains hot
+    paths welded end-to-start into composite corridors across shard
+    boundaries — bit-for-bit equal to a global stitch of the seed
+    coordinator's hot paths; ``off`` cuts corridors at shard boundaries
+    (quantified by the differential harness).  The report is maintained at
+    epoch granularity: each ``run_epoch`` commit invalidates it, and the
+    first corridor query afterwards runs the stitching merge once and
+    caches it until the next epoch — epochs that nobody asks corridors of
+    never pay for stitching.  A single-shard coordinator has no boundaries,
+    so both modes produce the full global stitch.
     """
 
     bounds: Rectangle
@@ -59,6 +77,7 @@ class CoordinatorConfig:
     num_shards: int = 1
     backend: str = "serial"
     overlap_halo: Optional[int] = None
+    stitching: str = "exact"
 
     def __post_init__(self) -> None:
         if self.window <= 0:
@@ -72,6 +91,10 @@ class CoordinatorConfig:
         if self.overlap_halo is not None and self.overlap_halo < 0:
             raise ConfigurationError(
                 f"overlap_halo must be None (adaptive) or >= 0, got {self.overlap_halo}"
+            )
+        if self.stitching not in STITCHING_MODES:
+            raise ConfigurationError(
+                f"stitching must be one of {', '.join(STITCHING_MODES)}, got {self.stitching!r}"
             )
 
 
@@ -109,11 +132,13 @@ class Coordinator:
                 config.num_shards,
                 backend=config.backend,
                 overlap_halo=config.overlap_halo,
+                stitching=config.stitching,
             )
             self.index = self.router.index
             self.hotness = self.router.hotness
             self.strategy = self.router.pipeline
         self._pending_states: List[ObjectState] = []
+        self._corridor_cache: Optional[List[CompositeCorridor]] = None
         self._epochs_processed = 0
         self._total_processing_seconds = 0.0
 
@@ -149,6 +174,7 @@ class Coordinator:
         """
         started = time.perf_counter()
         outcome = EpochOutcome(timestamp=now)
+        self._corridor_cache = None
 
         expired = self.hotness.advance_time(now)
         for path_id in expired:
@@ -185,6 +211,7 @@ class Coordinator:
             "max_shard_records": size,
             "min_shard_records": size,
             "mean_shard_records": size,
+            "straddling_paths": 0,
         }
 
     def hot_paths(self) -> List[Tuple[MotionPathRecord, int]]:
@@ -202,6 +229,34 @@ class Coordinator:
     def top_k_score(self, k: int) -> float:
         """Average score of the current top-k set (paper's quality metric)."""
         return top_k_score(self.top_k(k))
+
+    def hot_corridors(self) -> List[CompositeCorridor]:
+        """The current hot paths stitched into composite corridors.
+
+        A sharded fleet runs the distributed stitching merge (per-shard weld
+        passes on the execution backend; corridors cut at shard boundaries
+        in ``off`` mode); a single-shard coordinator stitches its hot paths
+        globally — the seed long-path report the sharded ``exact`` mode is
+        required to reproduce bit for bit.  The first query after an
+        epoch's commit stitches once and caches the report until the next
+        epoch; mutating the index or hotness directly between epochs
+        (outside ``run_epoch``) does not refresh that cache.
+        """
+        if self._corridor_cache is None:
+            if self.router is not None:
+                self._corridor_cache = self.router.stitch_epoch()
+            else:
+                self._corridor_cache = stitch_paths(self.hot_paths())
+        return self._corridor_cache
+
+    def top_k_corridors(self, k: int, by_score: bool = False) -> List[CompositeCorridor]:
+        """Top-k composite corridors — the corridor-aware top-k merge.
+
+        Ranked by merged hotness (or summed score with ``by_score``), with
+        the same total-order tie-break style as the path top-k, so the merge
+        accepts per-shard stitching output in any arrival order.
+        """
+        return select_top_k_corridors(self.hot_corridors(), k, by_score=by_score)
 
     # -- accounting ------------------------------------------------------------------------
 

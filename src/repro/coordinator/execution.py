@@ -18,6 +18,12 @@ concurrently without giving up the bit-for-bit exactness contract of
   ordered region lists); decisions commit on an in-process thread pool
   (index mutations must happen where the authoritative state lives).
 
+A third, read-only pass rides the same machinery: the corridor-stitching weld
+passes of :meth:`~repro.coordinator.sharding.ShardRouter.stitch_epoch` map
+per-shard fragment tasks onto the pool via ``map_stitch_buckets`` (process
+workers receive self-contained fragment tuples — no replica or journal
+involvement — and return serialized corridor chains).
+
 **Conflict groups.**  The decision stage of Algorithm 2 is sequential: within
 an epoch, later objects observe the paths and crossings earlier objects
 produced.  :func:`conflict_groups` partitions the epoch's states so that this
@@ -105,6 +111,7 @@ from repro.core.geometry import Rectangle
 from repro.client.state import ObjectState
 from repro.coordinator.overlaps import FsaOverlapStructure, build_structures
 from repro.coordinator.single_path import CandidatePath, SinglePathDecision
+from repro.coordinator.stitching import StitchFragment, weld_runs
 
 __all__ = [
     "BACKEND_NAMES",
@@ -124,6 +131,10 @@ Buckets = Dict[int, List[Tuple[int, ObjectState]]]
 
 #: Distinct halo FSA pools of one epoch's overlap plan, in pool-index order.
 OverlapPools = Sequence[Mapping[int, Rectangle]]
+
+#: Per-shard stitch tasks: hot fragments with ownership flags (see
+#: :data:`repro.coordinator.stitching.StitchFragment`), grouped by shard id.
+StitchTasks = Dict[int, List[StitchFragment]]
 
 #: A conflict group: the positions of its member states, in submission order.
 Group = List[int]
@@ -243,6 +254,20 @@ class ExecutionBackend(ABC):
         """Commit every conflict group, returning the per-group decision lists."""
         raise NotImplementedError(f"{self.name} backend does not parallelise decisions")
 
+    def map_stitch_buckets(self, router, tasks: StitchTasks) -> List[List[int]]:
+        """Run the per-shard weld passes of the corridor-stitching merge.
+
+        Each task holds one shard's hot fragments (with ownership flags); the
+        pass is read-only and returns every shard's weld runs — serialized
+        corridor chains whose consecutive pairs are the shard's welds (see
+        :func:`repro.coordinator.stitching.weld_runs`).  The default maps the
+        tasks inline; pool backends override to spread them over workers.
+        """
+        runs: List[List[int]] = []
+        for shard_id in tasks:
+            runs.extend(weld_runs(tasks[shard_id]))
+        return runs
+
     def close(self) -> None:
         """Release pool resources; the backend may be lazily revived afterwards."""
 
@@ -349,6 +374,20 @@ class ThreadBackend(ExecutionBackend):
 
         return list(pool.map(run_groups, _chunk(groups, self._workers)))
 
+    def map_stitch_buckets(self, router, tasks):
+        pool = self._ensure_pool()
+
+        def run_tasks(items):
+            runs = []
+            for _shard_id, fragments in items:
+                runs.extend(weld_runs(fragments))
+            return runs
+
+        runs: List[List[int]] = []
+        for chunk_runs in pool.map(run_tasks, _chunk(list(tasks.items()), self._workers)):
+            runs.extend(chunk_runs)
+        return runs
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -371,6 +410,7 @@ def _process_worker_main(connection, shard_configs, snapshot_ops) -> None:
     from repro.core.geometry import Point, Rectangle
     from repro.coordinator.grid_index import GridConfig, GridIndex
     from repro.coordinator.overlaps import build_structures as _build_structures
+    from repro.coordinator.stitching import weld_runs as _weld_runs
     from repro.core.motion_path import MotionPath, MotionPathRecord
 
     replicas: Dict[int, GridIndex] = {}
@@ -409,6 +449,15 @@ def _process_worker_main(connection, shard_configs, snapshot_ops) -> None:
         if kind == "stop":
             connection.close()
             return
+        if kind == "stitch":
+            # Stitch tasks are self-contained fragment lists (no replica or
+            # journal involvement): weld each shard's task, reply with the
+            # serialized corridor chains.
+            runs = []
+            for fragments in message[1]:
+                runs.extend(_weld_runs(fragments))
+            connection.send(runs)
+            continue
         _kind, ops, tasks, overlap_tasks = message
         apply(ops)
         answers = []
@@ -614,6 +663,26 @@ class ProcessBackend(ExecutionBackend):
 
     def map_decision_groups(self, groups, commit):
         return self._decision_pool.map_decision_groups(groups, commit)
+
+    def map_stitch_buckets(self, router, tasks):
+        """Weld passes in the worker processes, one round trip per epoch.
+
+        Shard tasks follow the static shard→worker assignment.  Fragments are
+        shipped whole (id, endpoints, ownership flags), so replica freshness
+        is irrelevant and the journal is untouched; workers answer with their
+        shards' weld runs.
+        """
+        self._ensure_workers(router)
+        worker_count = len(self._processes)
+        tasks_per_worker: List[list] = [[] for _ in range(worker_count)]
+        for shard_id, fragments in tasks.items():
+            tasks_per_worker[self._worker_of(shard_id)].append(fragments)
+        for connection, worker_tasks in zip(self._connections, tasks_per_worker):
+            connection.send(("stitch", worker_tasks))
+        runs: List[List[int]] = []
+        for connection in self._connections:
+            runs.extend(connection.recv())
+        return runs
 
     def close(self) -> None:
         for connection in self._connections:

@@ -74,6 +74,23 @@ the ring are truncated from the pool and decisions may deviate from the seed
 coordinator — the differential harness quantifies the deviation
 (``tests/test_sharding_equivalence.py::TestOverlapHalo``).
 
+**Cross-shard corridor stitching.**  Hot motion paths chain by construction
+(the coordinator's response endpoint becomes the reporting object's next SSA
+start), and a hot corridor crossing the shard grid is such a chain whose links
+are owned by different shards.  :meth:`ShardRouter.stitch_epoch` reassembles
+them: every shard decides the *welds* at the vertices it owns (endpoint-owner
+routing guarantees it holds every endpoint entry there, including the far
+side of straddling paths — tracked per boundary in
+:attr:`ShardRouter.boundary_ledger`), the weld passes run as per-shard tasks
+on the execution backend, and a merge pass chains the union of welds into
+:class:`~repro.coordinator.stitching.CompositeCorridor` objects.  In ``exact``
+mode the result is bit-for-bit the global stitch of the seed coordinator's
+hot paths (each vertex has exactly one owner, so the per-shard weld sets
+partition the global one); ``off`` cuts the stitched chains at every
+cross-shard weld, truncating corridors at shard boundaries — the deviation
+the differential harness quantifies, exactly one extra corridor per cut
+(``tests/test_stitching_equivalence.py``).
+
 **Exactness.**  The sharded coordinator is behaviour-identical to the
 single-shard coordinator, not an approximation: path ids come from one global
 counter, decisions execute in submission order against the same live state
@@ -114,6 +131,15 @@ from repro.coordinator.execution import (
 from repro.coordinator.grid_index import GridConfig, GridIndex
 from repro.coordinator.hotness import HotnessTracker
 from repro.coordinator.overlaps import FsaOverlapStructure
+from repro.coordinator.stitching import (
+    STITCHING_MODES,
+    CompositeCorridor,
+    StitchFragment,
+    build_corridors,
+    chain_fragments,
+    split_chains_at_boundaries,
+    successors_from_runs,
+)
 from repro.coordinator.single_path import (
     CandidatePath,
     SinglePathDecision,
@@ -621,6 +647,7 @@ class ShardRouter:
         num_shards: int,
         backend: Union[str, ExecutionBackend] = "serial",
         overlap_halo: Optional[int] = None,
+        stitching: str = "exact",
     ) -> None:
         rows, cols = shard_layout(num_shards)
         self.grid = ShardGrid(bounds, rows, cols)
@@ -629,10 +656,26 @@ class ShardRouter:
             raise ConfigurationError(
                 f"overlap_halo must be None (adaptive) or >= 0, got {overlap_halo}"
             )
+        if stitching not in STITCHING_MODES:
+            raise ConfigurationError(
+                f"stitching must be one of {', '.join(STITCHING_MODES)}, got {stitching!r}"
+            )
         #: Halo of the shard-local overlap structures: ``None`` = adaptive
         #: exact halo (bit-for-bit with the global build), ``h`` = fixed ring
         #: of ``h`` neighbouring shards (see :func:`plan_shard_overlaps`).
         self.overlap_halo = overlap_halo
+        #: Default mode of :meth:`stitch_epoch`: ``exact`` merges corridors
+        #: across shard boundaries, ``off`` truncates them at the boundary.
+        self.stitching = stitching
+        #: Per-boundary ledgers of straddling paths: ``(shard_a, shard_b)``
+        #: (sorted pair) -> ``{path_id: (start_shard, end_shard)}``.  A path
+        #: whose endpoints are owned by different shards is recorded here on
+        #: insert and dropped on delete, so the stitching merge can walk the
+        #: boundaries without re-deriving ownership from geometry.  Both
+        #: sides of the boundary see the entry (:meth:`boundary_ledger_of`).
+        self.boundary_ledger: Dict[Tuple[int, int], Dict[int, Tuple[int, int]]] = {}
+        #: Diagnostics of the most recent :meth:`stitch_epoch` run.
+        self.stitch_stats: Dict[str, object] = {}
         #: Mutation journal replayed by process-backend replicas: one compact
         #: tuple per insert/delete, appended in commit order.  Recorded only
         #: when the backend consumes it (``needs_journal``), and truncated by
@@ -720,6 +763,8 @@ class ShardRouter:
         start_owner.index.add_entry(record, is_start=True)
         end_owner.index.add_entry(record, is_start=False)
         self.owners[record.path_id] = start_owner
+        if start_owner is not end_owner:
+            self._ledger_add(record.path_id, start_owner.shard_id, end_owner.shard_id)
         if self._journal_enabled:
             self.journal.append(
                 (
@@ -744,13 +789,134 @@ class ShardRouter:
         self.shard_of(record.path.start).index.remove_entry(
             path_id, record.path.start, is_start=True
         )
-        self.shard_of(record.path.end).index.remove_entry(
-            path_id, record.path.end, is_start=False
-        )
+        end_owner = self.shard_of(record.path.end)
+        end_owner.index.remove_entry(path_id, record.path.end, is_start=False)
         owner.index.unregister(path_id)
         del self.owners[path_id]
+        if owner is not end_owner:
+            self._ledger_discard(path_id, owner.shard_id, end_owner.shard_id)
         if self._journal_enabled:
             self.journal.append(("d", path_id, owner.shard_id))
+
+    # -- boundary ledger -------------------------------------------------------------
+
+    @staticmethod
+    def _boundary_key(shard_a: int, shard_b: int) -> Tuple[int, int]:
+        return (shard_a, shard_b) if shard_a <= shard_b else (shard_b, shard_a)
+
+    def _ledger_add(self, path_id: int, start_shard: int, end_shard: int) -> None:
+        key = self._boundary_key(start_shard, end_shard)
+        self.boundary_ledger.setdefault(key, {})[path_id] = (start_shard, end_shard)
+
+    def _ledger_discard(self, path_id: int, start_shard: int, end_shard: int) -> None:
+        key = self._boundary_key(start_shard, end_shard)
+        entries = self.boundary_ledger.get(key)
+        if entries is not None and path_id in entries:
+            del entries[path_id]
+            if not entries:
+                del self.boundary_ledger[key]
+
+    def boundary_ledger_of(self, shard_id: int) -> Dict[int, Tuple[int, int]]:
+        """One shard's view of the ledgers: every straddling path it co-owns.
+
+        A straddling path is visible from both of its endpoint shards — the
+        start owner holds the record, the end owner holds the end entry the
+        stitching merge welds against.
+        """
+        view: Dict[int, Tuple[int, int]] = {}
+        for (shard_a, shard_b), entries in self.boundary_ledger.items():
+            if shard_id == shard_a or shard_id == shard_b:
+                view.update(entries)
+        return view
+
+    # -- cross-shard corridor stitching ------------------------------------------------
+
+    def stitch_epoch(self, mode: Optional[str] = None) -> List[CompositeCorridor]:
+        """Stitch the current hot paths into composite corridors.
+
+        Runs on demand after an epoch's stage-3 commit (the coordinator
+        invalidates its cached corridor report at every commit and calls
+        this on the first query that follows): every shard's hot fragments
+        are gathered — straddling fragments,
+        found by walking the per-boundary ledgers, are shipped to *both*
+        endpoint owners — the per-shard weld passes run on the execution
+        backend (:meth:`ExecutionBackend.map_stitch_buckets`), and the union
+        of welds is chained into corridors.
+
+        ``mode=None`` uses the router's configured default.  ``exact``
+        reproduces the global stitch of the seed coordinator's hot paths bit
+        for bit; ``off`` truncates at shard boundaries — by construction it
+        is the exact chains cut at every cross-owner weld, so the deviation
+        is exactly one extra corridor per reported ``boundary_welds`` (weld
+        cycles included: the cycle break happens once, before the cut — the
+        invariant the deviation harness pins).
+        """
+        mode = self.stitching if mode is None else mode
+        if mode not in STITCHING_MODES:
+            raise ConfigurationError(
+                f"stitching mode must be one of {', '.join(STITCHING_MODES)}, got {mode!r}"
+            )
+        straddling: Dict[int, Tuple[int, int]] = {}
+        for entries in self.boundary_ledger.values():
+            straddling.update(entries)
+        #: path_id -> (path, hotness, owner shard id) for every hot fragment.
+        info: Dict[int, Tuple[MotionPath, int, int]] = {}
+        tasks: Dict[int, List[StitchFragment]] = {}
+        for shard in self.shards:
+            shard_id = shard.shard_id
+            for path_id, hotness in shard.hotness.items():
+                if path_id not in self.owners:
+                    continue  # hot entry without a live record (mirrors hot_paths())
+                path = shard.index.get(path_id).path
+                end_shard = straddling.get(path_id, (shard_id, shard_id))[1]
+                info[path_id] = (path, hotness, shard_id)
+                tasks.setdefault(shard_id, []).append(
+                    (
+                        path_id,
+                        path.start.x,
+                        path.start.y,
+                        path.end.x,
+                        path.end.y,
+                        True,
+                        end_shard == shard_id,
+                    )
+                )
+                if end_shard != shard_id:
+                    tasks.setdefault(end_shard, []).append(
+                        (path_id, path.start.x, path.start.y, path.end.x, path.end.y, False, True)
+                    )
+        runs = self.pipeline.backend.map_stitch_buckets(self, tasks) if tasks else []
+        successor = successors_from_runs(runs)
+        owner_of = lambda path_id: info[path_id][2]
+        chains = chain_fragments(info, successor)
+        # Both weld stats count the welds the exact chaining actually
+        # *consumes* (one closing weld per cycle drops out first): that
+        # makes ``welds`` layout-independent — a cycle broken inside one
+        # shard's run and a cycle broken by the merge report the same
+        # number — keeps ``fragments - welds == corridors`` in exact mode,
+        # and makes ``len(off corridors) == len(exact) + boundary_welds``
+        # hold unconditionally.
+        welds_used = sum(len(chain) - 1 for chain in chains)
+        boundary_welds = sum(
+            1
+            for chain in chains
+            for predecessor_id, successor_id in zip(chain, chain[1:])
+            if owner_of(predecessor_id) != owner_of(successor_id)
+        )
+        if mode == "off":
+            chains = split_chains_at_boundaries(chains, owner_of)
+        corridors = build_corridors(chains, lambda path_id: info[path_id][:2])
+        self.stitch_stats = {
+            "mode": mode,
+            "fragments": len(info),
+            "welds": welds_used,
+            "boundary_welds": boundary_welds,
+            "corridors": len(corridors),
+            "multi_segment_corridors": sum(
+                1 for corridor in corridors if corridor.num_segments > 1
+            ),
+        }
+        return corridors
 
     # -- parallel decision commits ---------------------------------------------------
 
@@ -787,14 +953,18 @@ class ShardRouter:
             mapping[provisional_id] = final_id
             owner = self.owners.pop(provisional_id)
             start, end = record.path.start, record.path.end
+            end_owner = self.shard_of(end)
             owner.index.remove_entry(provisional_id, start, is_start=True)
-            self.shard_of(end).index.remove_entry(provisional_id, end, is_start=False)
+            end_owner.index.remove_entry(provisional_id, end, is_start=False)
             owner.index.unregister(provisional_id)
             record.path_id = final_id
             owner.index.register(record)
             owner.index.add_entry(record, is_start=True)
-            self.shard_of(end).index.add_entry(record, is_start=False)
+            end_owner.index.add_entry(record, is_start=False)
             self.owners[final_id] = owner
+            if owner is not end_owner:
+                self._ledger_discard(provisional_id, owner.shard_id, end_owner.shard_id)
+                self._ledger_add(final_id, owner.shard_id, end_owner.shard_id)
             hotness_renames.setdefault(owner.shard_id, {})[provisional_id] = final_id
             if self._journal_enabled:
                 self.journal.append(("r", provisional_id, final_id, owner.shard_id))
@@ -820,4 +990,7 @@ class ShardRouter:
             "max_shard_records": max(sizes) if sizes else 0,
             "min_shard_records": min(sizes) if sizes else 0,
             "mean_shard_records": mean,
+            "straddling_paths": sum(
+                len(entries) for entries in self.boundary_ledger.values()
+            ),
         }

@@ -1,0 +1,381 @@
+"""Cross-shard stitching of hot motion paths into composite corridors.
+
+A hot *corridor* — a downtown artery, an evacuation route — is longer than any
+single motion path: SinglePath deliberately stores short segments (each
+RayTrace report contributes one path from the object's SSA start to its chosen
+endpoint), so a corridor materialises in the index as a *chain* of hot paths,
+each starting exactly where the previous one ends (the coordinator's response
+endpoint becomes the next SSA start, so chains arise by construction).  This
+module turns those chains into first-class :class:`CompositeCorridor` report
+objects, both for the single-shard coordinator and — the interesting case —
+for a sharded fleet, where a corridor crossing the R x C shard grid would
+otherwise be reported as disjoint per-shard fragments.
+
+**Welds.**  Stitching is driven by a purely local rule at each vertex ``v``:
+
+    ``v`` welds path ``p`` to path ``q`` iff ``p`` is the *only* hot path
+    ending at ``v``, ``q`` is the *only* hot path starting at ``v``, and
+    ``p != q``.
+
+The degree-1 restriction makes the decomposition canonical: welds are a set
+function of the hot-fragment set (no greedy choices, no enumeration-order
+dependence), every fragment has at most one weld-successor (its single end
+vertex) and at most one weld-predecessor (its single start vertex), so chains
+are simple and the corridor partition is unique.  A junction where several
+hot paths meet is a genuine fork — chaining through it would have to pick a
+branch, so the corridor ends there.
+
+**Why the rule shards exactly.**  Endpoint-owner routing stores *every*
+endpoint entry with the shard owning the endpoint's location, so the shard
+owning ``v`` knows all hot paths starting **and** ending at ``v`` — including
+the far side of boundary-straddling paths, whose end entries it holds.  Each
+shard can therefore decide the welds at its own vertices from local
+information alone, and the union of per-shard weld sets equals the global
+weld set (each vertex has exactly one owner, so no weld is duplicated or
+missed).  Chaining the union back into corridors is the per-boundary merge
+pass of :meth:`repro.coordinator.sharding.ShardRouter.stitch_epoch`.
+
+**Scoring.**  A corridor's ``hotness`` is the *minimum* member hotness (a
+corridor is only as hot as its least-travelled link) and its ``score`` is the
+*sum* of the member scores (``hotness_i * length_i`` — score is additive over
+the chain, so stitching never inflates the quality metric).  Ranking uses the
+same total-order tie-break style as :mod:`repro.coordinator.single_path`:
+every comparison falls back to the lead path id, so the top-k merge is
+independent of the order corridors were produced in.
+
+Cycles (a chain that closes on itself) are broken deterministically at the
+member with the smallest path id, which keeps the decomposition a pure
+function of the fragment set.
+
+This module is dependency-light on purpose: the execution backends' worker
+processes import :func:`weld_runs` directly, so nothing here may import from
+:mod:`repro.coordinator.sharding` or :mod:`repro.coordinator.execution`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.errors import ConfigurationError
+from repro.core.geometry import Point
+from repro.core.motion_path import MotionPath, MotionPathRecord
+
+__all__ = [
+    "STITCHING_MODES",
+    "CorridorSegment",
+    "CompositeCorridor",
+    "StitchFragment",
+    "weld_runs",
+    "successors_from_runs",
+    "chain_fragments",
+    "split_chains_at_boundaries",
+    "build_corridors",
+    "stitch_paths",
+    "select_top_k_corridors",
+    "top_k_corridor_score",
+]
+
+#: Values accepted by the ``stitching`` knob (config layers and ``--stitching``):
+#: ``off`` truncates corridors at shard boundaries (no cross-shard merge),
+#: ``exact`` stitches across boundaries, bit-for-bit equal to a global stitch
+#: over the seed coordinator's hot paths.
+STITCHING_MODES: Tuple[str, ...] = ("off", "exact")
+
+#: Wire format of one hot fragment shipped to a per-shard stitch task:
+#: ``(path_id, start_x, start_y, end_x, end_y, owns_start, owns_end)``.
+#: The boolean flags mark which of the fragment's endpoints the task's shard
+#: owns — the worker decides welds only at vertices it owns, so a straddling
+#: path (shipped to both endpoint owners) is counted once per vertex.
+StitchFragment = Tuple[int, float, float, float, float, bool, bool]
+
+
+@dataclass(frozen=True)
+class CorridorSegment:
+    """One hot motion path inside a composite corridor."""
+
+    path_id: int
+    path: MotionPath
+    hotness: int
+
+    @property
+    def score(self) -> float:
+        """The member's contribution to the corridor score: ``hotness * length``."""
+        return self.hotness * self.path.length
+
+
+@dataclass(frozen=True)
+class CompositeCorridor:
+    """A maximal chain of hot motion paths welded end-to-start.
+
+    Every hot path belongs to exactly one corridor (a path with no welds forms
+    a singleton corridor), so the corridor report is a partition of the hot
+    set — nothing is dropped, only grouped.
+    """
+
+    segments: Tuple[CorridorSegment, ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ConfigurationError("a composite corridor needs at least one segment")
+
+    @property
+    def path_ids(self) -> Tuple[int, ...]:
+        return tuple(segment.path_id for segment in self.segments)
+
+    @property
+    def lead_path_id(self) -> int:
+        """Id of the head segment — the deterministic tie-break key."""
+        return self.segments[0].path_id
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def start(self) -> Point:
+        return self.segments[0].path.start
+
+    @property
+    def end(self) -> Point:
+        return self.segments[-1].path.end
+
+    @property
+    def length(self) -> float:
+        """Total Euclidean length of the chain."""
+        return sum(segment.path.length for segment in self.segments)
+
+    @property
+    def hotness(self) -> int:
+        """Merged hotness: the corridor is only as hot as its weakest link."""
+        return min(segment.hotness for segment in self.segments)
+
+    @property
+    def score(self) -> float:
+        """Sum of the member scores — additive, so stitching never inflates it."""
+        return sum(segment.score for segment in self.segments)
+
+    def vertices(self) -> List[Point]:
+        """The chain's polyline: start, every weld vertex, end."""
+        points = [self.segments[0].path.start]
+        points.extend(segment.path.end for segment in self.segments)
+        return points
+
+
+# ---------------------------------------------------------------------------
+# Weld computation (per-shard worker pass)
+# ---------------------------------------------------------------------------
+
+
+def weld_runs(fragments: Sequence[StitchFragment]) -> List[List[int]]:
+    """Decide the welds at a task's *owned* vertices and chain them into runs.
+
+    ``fragments`` is one shard's stitch task: every hot fragment with at least
+    one endpoint owned by the shard, with the ``owns_start`` / ``owns_end``
+    flags marking which endpoints to count here.  Endpoint-owner routing
+    guarantees the task is complete for every owned vertex, so the local
+    degree counts equal the global ones and the welds decided here are
+    exactly the global welds at these vertices.
+
+    Returns *runs* — maximal chains ``[p1, .., pk]`` (``k >= 2``) under this
+    task's welds, each consecutive pair encoding one weld.  Runs rather than
+    raw pairs is the wire format the process backend ships back to the
+    parent (serialized corridor chains); the merge pass re-derives the pairs
+    and chains runs from different shards together.  A cycle closed entirely
+    by this task's welds is broken at its smallest path id, exactly as the
+    global chaining would break it.
+    """
+    ends_at: Dict[Tuple[float, float], List[int]] = {}
+    starts_at: Dict[Tuple[float, float], List[int]] = {}
+    for path_id, start_x, start_y, end_x, end_y, owns_start, owns_end in fragments:
+        if owns_start:
+            starts_at.setdefault((start_x, start_y), []).append(path_id)
+        if owns_end:
+            ends_at.setdefault((end_x, end_y), []).append(path_id)
+    successor: Dict[int, int] = {}
+    for vertex, enders in ends_at.items():
+        starters = starts_at.get(vertex)
+        if starters is None or len(enders) != 1 or len(starters) != 1:
+            continue
+        predecessor_id, successor_id = enders[0], starters[0]
+        if predecessor_id != successor_id:  # a degenerate self-loop never welds
+            successor[predecessor_id] = successor_id
+    welded = set(successor)
+    welded.update(successor.values())
+    return [run for run in chain_fragments(welded, successor) if len(run) >= 2]
+
+
+def successors_from_runs(runs: Iterable[Sequence[int]]) -> Dict[int, int]:
+    """Rebuild the weld successor map from per-shard runs (the merge input).
+
+    Each vertex has exactly one owning shard, so no weld appears in two
+    shards' runs and the union is conflict-free.
+    """
+    successor: Dict[int, int] = {}
+    for run in runs:
+        for predecessor_id, successor_id in zip(run, run[1:]):
+            successor[predecessor_id] = successor_id
+    return successor
+
+
+# ---------------------------------------------------------------------------
+# Chaining (the merge pass)
+# ---------------------------------------------------------------------------
+
+
+def chain_fragments(
+    path_ids: Iterable[int], successor: Mapping[int, int]
+) -> List[List[int]]:
+    """Partition ``path_ids`` into maximal chains under the weld ``successor`` map.
+
+    Deterministic and order-free: chains are walked from their unique heads
+    (fragments with no predecessor, visited in ascending id order), cycles
+    are broken at their smallest member id, and the resulting chain list is
+    ordered by head id.  Fragments with no welds come out as singletons.
+    """
+    ids = set(path_ids)
+    has_predecessor = {
+        successor_id for predecessor_id, successor_id in successor.items()
+        if predecessor_id in ids
+    }
+    chains: List[List[int]] = []
+    visited = set()
+    for head in sorted(ids):
+        if head in visited or head in has_predecessor:
+            continue
+        chain = [head]
+        visited.add(head)
+        while True:
+            next_id = successor.get(chain[-1])
+            if next_id is None or next_id not in ids or next_id in visited:
+                break
+            chain.append(next_id)
+            visited.add(next_id)
+        chains.append(chain)
+    # Whatever remains sits on weld cycles; ascending iteration makes the
+    # first unvisited member of each cycle its minimum, where we break it.
+    for head in sorted(ids - visited):
+        if head in visited:
+            continue
+        chain = [head]
+        visited.add(head)
+        next_id = successor.get(head)
+        while next_id is not None and next_id in ids and next_id not in visited:
+            chain.append(next_id)
+            visited.add(next_id)
+            next_id = successor.get(next_id)
+        chains.append(chain)
+    return sorted(chains, key=lambda chain: chain[0])
+
+
+def split_chains_at_boundaries(
+    chains: Iterable[Sequence[int]], owner_of: Callable[[int], int]
+) -> List[List[int]]:
+    """Cut every chain where consecutive fragments have different owners.
+
+    The ``stitching='off'`` report: the exact corridors truncated at shard
+    boundaries.  Defining truncation as a cut of the *exact* chains (rather
+    than re-chaining with the cross-owner welds filtered out) makes the
+    deviation invariant hold unconditionally — one extra corridor per cut,
+    weld cycles included: a cycle is broken once, identically, before the
+    cut, so the off report can never regroup fragments across the break the
+    exact report chose.  The resulting pieces are re-sorted by head id, the
+    same canonical order :func:`chain_fragments` produces.
+    """
+    pieces: List[List[int]] = []
+    for chain in chains:
+        piece = [chain[0]]
+        for path_id in chain[1:]:
+            if owner_of(piece[-1]) != owner_of(path_id):
+                pieces.append(piece)
+                piece = [path_id]
+            else:
+                piece.append(path_id)
+        pieces.append(piece)
+    return sorted(pieces, key=lambda piece: piece[0])
+
+
+def build_corridors(
+    chains: Iterable[Sequence[int]],
+    resolve: Callable[[int], Tuple[MotionPath, int]],
+) -> List[CompositeCorridor]:
+    """Materialise id-chains into corridors; ``resolve`` maps id -> (path, hotness)."""
+    corridors = []
+    for chain in chains:
+        segments = []
+        for path_id in chain:
+            path, hotness = resolve(path_id)
+            segments.append(CorridorSegment(path_id, path, hotness))
+        corridors.append(CompositeCorridor(tuple(segments)))
+    return corridors
+
+
+def stitch_paths(
+    hot_paths: Iterable[Tuple[MotionPathRecord, int]]
+) -> List[CompositeCorridor]:
+    """Global reference stitch: the seed coordinator's long-path report.
+
+    ``hot_paths`` yields ``(record, hotness)`` pairs (the output of
+    :meth:`Coordinator.hot_paths`).  A sharded fleet's
+    :meth:`~repro.coordinator.sharding.ShardRouter.stitch_epoch` in ``exact``
+    mode must reproduce this bit for bit — the contract of
+    ``tests/test_stitching_equivalence.py``.
+    """
+    info: Dict[int, Tuple[MotionPath, int]] = {}
+    fragments: List[StitchFragment] = []
+    for record, hotness in hot_paths:
+        info[record.path_id] = (record.path, hotness)
+        fragments.append(
+            (
+                record.path_id,
+                record.path.start.x,
+                record.path.start.y,
+                record.path.end.x,
+                record.path.end.y,
+                True,
+                True,
+            )
+        )
+    successor = successors_from_runs(weld_runs(fragments))
+    chains = chain_fragments(info, successor)
+    return build_corridors(chains, info.__getitem__)
+
+
+# ---------------------------------------------------------------------------
+# Ranking (the corridor top-k merge)
+# ---------------------------------------------------------------------------
+
+
+def select_top_k_corridors(
+    corridors: Iterable[CompositeCorridor], k: int, by_score: bool = False
+) -> List[CompositeCorridor]:
+    """Top-k corridors ranked by hotness (default) or by score.
+
+    Mirrors :func:`repro.core.scoring.select_top_k` for composite corridors:
+    ties fall back to the score (respectively hotness) and finally to the
+    lead path id, so the ranking is a total order — independent of the order
+    in which per-shard merge results arrive.
+    """
+    if k <= 0:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    if by_score:
+        key = lambda corridor: (corridor.score, corridor.hotness, -corridor.lead_path_id)
+    else:
+        key = lambda corridor: (corridor.hotness, corridor.score, -corridor.lead_path_id)
+    return heapq.nlargest(k, corridors, key=key)
+
+
+def top_k_corridor_score(top_k: Sequence[CompositeCorridor]) -> float:
+    """Average score of a corridor top-k set; zero for an empty set."""
+    if not top_k:
+        return 0.0
+    return sum(corridor.score for corridor in top_k) / len(top_k)

@@ -133,6 +133,7 @@ def scaled_simulation_config(
     num_shards: int = 1,
     backend: str = "serial",
     overlap_halo: Optional[int] = None,
+    stitching: str = "exact",
     seed: int = 42,
 ) -> SimulationConfig:
     """Build a :class:`SimulationConfig` from paper defaults, scaled for Python.
@@ -164,6 +165,7 @@ def scaled_simulation_config(
         num_shards=num_shards,
         backend=backend,
         overlap_halo=overlap_halo,
+        stitching=stitching,
         seed=seed,
         run_dp_baseline=run_dp_baseline,
         run_naive_baseline=run_naive_baseline,

@@ -29,6 +29,7 @@ from repro.core.trajectory import TimePoint, UncertainTimePoint
 from repro.client.raytrace import RayTraceConfig, RayTraceFilter
 from repro.client.state import ObjectState
 from repro.coordinator.coordinator import Coordinator, CoordinatorConfig
+from repro.coordinator.stitching import CompositeCorridor
 from repro.baselines.dp_hot import DPHotSegmentTracker
 from repro.baselines.naive import NaiveClient
 from repro.network.generator import NetworkConfig, SyntheticRoadNetworkGenerator
@@ -58,7 +59,12 @@ class SimulationConfig:
     ``overlap_halo`` sizes the halo of the fleet's shard-local FSA overlap
     structures (``None`` = adaptive exact halo, behaviour-identical below a
     saturated region cap; ``h`` = fixed ring of ``h`` neighbouring shards,
-    which may deviate).
+    which may deviate).  ``stitching`` controls the composite-corridor
+    report: ``exact`` (default) stitches hot-path chains across shard
+    boundaries — bit-for-bit the seed coordinator's long-path report —
+    while ``off`` truncates corridors at shard boundaries (quantified by
+    the differential harness); individual path results are identical either
+    way.
     """
 
     num_objects: int = 20000
@@ -75,6 +81,7 @@ class SimulationConfig:
     num_shards: int = 1
     backend: str = "serial"
     overlap_halo: Optional[int] = None
+    stitching: str = "exact"
     seed: int = 42
     report_uncertainty: bool = False
     run_dp_baseline: bool = True
@@ -131,6 +138,18 @@ class SimulationResult:
         """All motion paths with non-zero hotness at the end of the run."""
         return self.coordinator.hot_paths()
 
+    def hot_corridors(self) -> List[CompositeCorridor]:
+        """The final hot paths stitched into composite corridors."""
+        return self.coordinator.hot_corridors()
+
+    def top_k_corridors(
+        self, k: Optional[int] = None, by_score: bool = False
+    ) -> List[CompositeCorridor]:
+        """Top-k composite corridors at the end of the run."""
+        return self.coordinator.top_k_corridors(
+            k if k is not None else self.config.top_k, by_score
+        )
+
     def summary(self) -> Dict[str, float]:
         """Flat metric summary (see :meth:`MetricsCollector.as_dict`)."""
         return self.metrics.as_dict()
@@ -160,6 +179,7 @@ class HotPathSimulation:
                 num_shards=config.num_shards,
                 backend=config.backend,
                 overlap_halo=config.overlap_halo,
+                stitching=config.stitching,
             )
         )
         self.dp_baseline: Optional[DPHotSegmentTracker] = None

@@ -50,6 +50,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--backend", "gpu"])
 
+    def test_run_stitching_flag(self):
+        for mode in ("off", "exact"):
+            args = build_parser().parse_args(["run", "--stitching", mode])
+            assert args.stitching == mode
+        assert build_parser().parse_args(["run"]).stitching == "exact"
+
+    def test_run_stitching_rejects_unknown_value(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--stitching", "approximate"])
+
 
 class TestHelp:
     """``python -m repro --help`` must document the scale-out flags."""
@@ -73,6 +83,16 @@ class TestHelp:
         assert "central coordinator" in captured
         assert "examples:" in captured
 
+    def test_run_help_documents_stitching(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--help"])
+        assert excinfo.value.code == 0
+        captured = capsys.readouterr().out
+        assert "--stitching" in captured
+        assert "{off,exact}" in captured
+        assert "composite corridors" in captured
+        assert "truncate at" in captured
+
 
 class TestRunCommand:
     def test_run_prints_summary_and_paths(self, capsys):
@@ -91,6 +111,25 @@ class TestRunCommand:
         assert "index size" in captured
         assert "message reduction vs naive" in captured
         assert "hottest motion paths" in captured
+        assert "composite corridors" in captured
+
+    def test_run_with_stitching_off_reports_truncation(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--objects", "60",
+                "--duration", "60",
+                "--network-nodes", "6",
+                "--area", "2000",
+                "--seed", "3",
+                "--shards", "4",
+                "--stitching", "off",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "stitching: off" in captured
+        assert "cross-shard merge off" in captured
 
     def test_run_with_shards_reports_fleet(self, capsys):
         exit_code = main(
