@@ -46,6 +46,7 @@ import pytest
 from repro.core.geometry import Point, Rectangle
 from repro.core.motion_path import MotionPath
 from repro.client.state import ObjectState
+from repro.coordinator.coordinator import Coordinator, CoordinatorConfig
 from repro.coordinator.overlaps import (
     DerivedRegionCache,
     FsaOverlapStructure,
@@ -221,6 +222,93 @@ def _stitch_rows(repeats: int = 5):
     return rows
 
 
+def _skewed_downtown_stream(seed: int = 42, epochs: int = 10, per_epoch: int = 60):
+    """A density-skewed epoch stream: ~80% of reports start in the downtown
+    corner (the workload the load-adaptive kd partition exists for)."""
+    rng = random.Random(seed)
+    stream = []
+    for epoch in range(1, epochs + 1):
+        boundary = epoch * 10
+        states = []
+        for _ in range(per_epoch):
+            if rng.random() < 0.8:
+                start = Point(rng.uniform(0.0, 250.0), rng.uniform(0.0, 250.0))
+            else:
+                start = Point(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0))
+            centre = Point(
+                start.x + rng.uniform(-150.0, 150.0), start.y + rng.uniform(-150.0, 150.0)
+            )
+            fsa = Rectangle.from_center(centre, rng.uniform(5.0, 100.0))
+            t_end = boundary - rng.randrange(10)
+            states.append(
+                ObjectState(
+                    rng.randrange(per_epoch * 2), start, max(0, t_end - 5),
+                    fsa.low, fsa.high, t_end,
+                )
+            )
+        stream.append((boundary, states))
+    return stream
+
+
+def _rebalance_rows():
+    """Shard-load imbalance on the skewed workload: uniform grid vs the
+    load-adaptive kd partition (rebalancing enabled), identical answers.
+
+    Rows report the final fleet statistics plus per-epoch coordinator time;
+    the uniform row *is* the "before" of the rebalancing story — the fixed
+    grid piles the downtown records onto a few shards — and the kd rows are
+    the "after": the epoch-boundary rebalance protocol refits the splits to
+    the endpoint density whenever max/mean load exceeds the threshold.
+    """
+    rows = []
+    reference = None
+    stream = _skewed_downtown_stream()
+    for label, partition, threshold in (
+        ("uniform", "uniform", 2.0),
+        ("kd", "kd", 2.0),
+        ("kd tight", "kd", 1.2),
+    ):
+        coordinator = Coordinator(
+            CoordinatorConfig(
+                bounds=OVERLAP_BOUNDS,
+                window=60,
+                cells_per_axis=32,
+                num_shards=16,
+                partition=partition,
+                rebalance_threshold=threshold,
+            )
+        )
+        trace = []
+        started = time.perf_counter()
+        for boundary, states in stream:
+            for state in states:
+                coordinator.submit_state(state)
+            outcome = coordinator.run_epoch(boundary)
+            trace.append((outcome.responses, outcome.paths_inserted, outcome.paths_expired))
+        elapsed_ms = (time.perf_counter() - started) / len(trace) * 1000.0
+        trace.append(sorted(coordinator.hotness.items()))
+        if reference is None:
+            reference = trace
+        else:
+            # The partition layer moves state, never answers.
+            assert trace == reference, f"{label} diverged from the uniform fleet"
+        stats = coordinator.shard_statistics()
+        rows.append(
+            (
+                label,
+                stats["imbalance"],
+                stats["max_shard_records"],
+                stats["mean_shard_records"],
+                stats["rebalances"],
+                elapsed_ms,
+            )
+        )
+        coordinator.close()
+    # The headline claim of the partition layer, asserted where it is measured.
+    assert rows[1][1] < rows[0][1], "kd did not improve on uniform imbalance"
+    return rows
+
+
 @pytest.mark.benchmark(group="sharding")
 def test_sharding_scaling(benchmark, experiment_scale, record_result):
     shard_results = {}
@@ -308,6 +396,31 @@ def test_sharding_scaling(benchmark, experiment_scale, record_result):
             f"{mode:>12} {backend:>10} {elapsed_ms:>10.3f} {fragments:>10d} "
             f"{corridors:>10d} {multi:>10d} {welds:>15d}"
         )
+
+    # Load-adaptive rebalancing: shard-load imbalance before/after swapping
+    # the uniform grid for the kd partition on a skewed downtown workload
+    # (identical answers asserted inside _rebalance_rows).
+    lines.append("")
+    lines.append(
+        "shard-load rebalancing (skewed downtown workload, 4x4 fleet, "
+        "uniform vs --partition kd)"
+    )
+    rebalance_header = (
+        f"{'partition':>10} {'imbalance max/mean':>19} {'max records':>12} "
+        f"{'mean records':>13} {'rebalances':>11} {'time/epoch ms':>14}"
+    )
+    lines.append(rebalance_header)
+    lines.append("-" * len(rebalance_header))
+    for label, imbalance, max_records, mean_records, rebalances, elapsed_ms in _rebalance_rows():
+        lines.append(
+            f"{label:>10} {imbalance:>19.2f} {max_records:>12.0f} "
+            f"{mean_records:>13.1f} {rebalances:>11.0f} {elapsed_ms:>14.3f}"
+        )
+    lines.append(
+        "(answers identical across rows; imbalance is what serialises a parallel "
+        "fleet — the single-core container shows kd's denser downtown cells as "
+        "extra halo work instead of the multi-core win)"
+    )
     record_result("sharding_scaling", "\n".join(lines))
 
     # Scale-out must never change the answer: identical top-k everywhere,

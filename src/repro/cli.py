@@ -36,6 +36,7 @@ from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import run_figure9, run_figure10
 from repro.experiments.report import ablation_rows_to_csv, write_experiment_bundle, write_sweep_csv
 from repro.coordinator.execution import BACKEND_NAMES
+from repro.coordinator.partition import PARTITION_KINDS
 from repro.coordinator.stitching import STITCHING_MODES, select_top_k_corridors
 from repro.network.generator import NetworkConfig
 from repro.simulation.engine import HotPathSimulation, SimulationConfig
@@ -118,6 +119,26 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--partition", choices=PARTITION_KINDS, default="uniform",
+        help=(
+            "spatial partition of a sharded coordinator: 'uniform' (default) is the "
+            "fixed R x C shard grid; 'kd' fits kd splits to endpoint density and "
+            "rebalances at epoch boundaries whenever the max/mean shard-load ratio "
+            "exceeds --rebalance-threshold, migrating shard state onto the new "
+            "splits. Both partitions produce bit-for-bit identical results — 'kd' "
+            "only evens out *where* the load lives (see the shard statistics line). "
+            "Ignored when --shards is 1."
+        ),
+    )
+    run_parser.add_argument(
+        "--rebalance-threshold", type=float, default=2.0, metavar="R",
+        help=(
+            "max/mean shard-load imbalance ratio above which a kd partition refits "
+            "and migrates at the next epoch boundary (must exceed 1.0; default 2.0). "
+            "Validated always, but only consulted with --partition kd."
+        ),
+    )
+    run_parser.add_argument(
         "--overlap-halo", type=int, default=None, metavar="H",
         help=(
             "halo of the shard-local FSA overlap structures, in rings of "
@@ -180,6 +201,8 @@ def _command_run(args: argparse.Namespace) -> int:
         backend=args.backend,
         overlap_halo=args.overlap_halo,
         stitching=args.stitching,
+        partition=args.partition,
+        rebalance_threshold=args.rebalance_threshold,
         seed=args.seed,
         network_config=NetworkConfig(area_size=args.area, grid_nodes_per_axis=args.network_nodes),
     )
@@ -190,13 +213,15 @@ def _command_run(args: argparse.Namespace) -> int:
         shards = result.coordinator.shard_statistics()
         halo = "adaptive" if config.overlap_halo is None else f"{config.overlap_halo} rings"
         print(
-            f"coordinator backend: {config.backend} (overlap halo: {halo}, "
-            f"stitching: {config.stitching})"
+            f"coordinator backend: {config.backend} (partition: {config.partition}, "
+            f"overlap halo: {halo}, stitching: {config.stitching})"
         )
         print(
             f"coordinator shards: {shards['num_shards']:.0f} "
             f"(records per shard min/mean/max: {shards['min_shard_records']:.0f}"
             f"/{shards['mean_shard_records']:.1f}/{shards['max_shard_records']:.0f}, "
+            f"imbalance: {shards['imbalance']:.2f}, "
+            f"rebalances: {shards['rebalances']:.0f}, "
             f"boundary-straddling paths: {shards['straddling_paths']:.0f})"
         )
     print(f"index size (final / mean per epoch): {summary['final_index_size']:.0f} / {summary['mean_index_size']:.1f}")

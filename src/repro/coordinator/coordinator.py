@@ -25,7 +25,7 @@ from repro.client.state import CoordinatorResponse, ObjectState
 from repro.coordinator.execution import BACKEND_NAMES
 from repro.coordinator.grid_index import GridConfig, GridIndex
 from repro.coordinator.hotness import HotnessTracker
-from repro.coordinator.sharding import ShardRouter
+from repro.coordinator.sharding import PARTITION_KINDS, ShardRouter
 from repro.coordinator.single_path import SinglePathStrategy
 from repro.coordinator.stitching import (
     STITCHING_MODES,
@@ -58,6 +58,17 @@ class CoordinatorConfig:
     quantifies the deviation).  A single-shard coordinator always runs the
     paper's inline strategy and ignores the backend and the halo.
 
+    ``partition`` selects the fleet's spatial partition layer
+    (:mod:`repro.coordinator.partition`): ``uniform`` (the default) is the
+    fixed R x C shard grid; ``kd`` is the load-adaptive kd-split partition —
+    fitted to endpoint density and *rebalanced* at epoch boundaries whenever
+    the per-shard record-load imbalance (``max / mean``) exceeds
+    ``rebalance_threshold``, migrating every shard's state (index entries,
+    hotness, boundary ledgers, worker replicas) onto the new splits.  Both
+    partitions — rebalancing included — stay bit-for-bit equivalent to the
+    seed coordinator: the partition decides *where* state lives, never what
+    the algorithm answers.
+
     ``stitching`` controls the corridor report
     (:meth:`Coordinator.hot_corridors`): ``exact`` (the default) chains hot
     paths welded end-to-start into composite corridors across shard
@@ -78,12 +89,23 @@ class CoordinatorConfig:
     backend: str = "serial"
     overlap_halo: Optional[int] = None
     stitching: str = "exact"
+    partition: str = "uniform"
+    rebalance_threshold: float = 2.0
 
     def __post_init__(self) -> None:
         if self.window <= 0:
             raise ConfigurationError(f"window must be positive, got {self.window}")
         if self.num_shards <= 0:
             raise ConfigurationError(f"num_shards must be positive, got {self.num_shards}")
+        if self.partition not in PARTITION_KINDS:
+            raise ConfigurationError(
+                f"partition must be one of {', '.join(PARTITION_KINDS)}, got {self.partition!r}"
+            )
+        if self.rebalance_threshold <= 1.0:
+            raise ConfigurationError(
+                "rebalance_threshold must exceed 1.0 (max/mean shard load), "
+                f"got {self.rebalance_threshold}"
+            )
         if self.backend not in BACKEND_NAMES:
             raise ConfigurationError(
                 f"backend must be one of {', '.join(BACKEND_NAMES)}, got {self.backend!r}"
@@ -108,6 +130,9 @@ class EpochOutcome:
     paths_inserted: int = 0
     paths_reused: int = 0
     paths_expired: int = 0
+    #: Whether the epoch boundary triggered a shard-partition rebalance
+    #: (kd partitions only; never changes any other field of the outcome).
+    rebalanced: bool = False
     processing_seconds: float = 0.0
 
 
@@ -133,12 +158,19 @@ class Coordinator:
                 backend=config.backend,
                 overlap_halo=config.overlap_halo,
                 stitching=config.stitching,
+                partition=config.partition,
+                rebalance_threshold=config.rebalance_threshold,
             )
             self.index = self.router.index
             self.hotness = self.router.hotness
             self.strategy = self.router.pipeline
         self._pending_states: List[ObjectState] = []
         self._corridor_cache: Optional[List[CompositeCorridor]] = None
+        # Rebalance count the cached corridor report was computed at: a
+        # manual ShardRouter.rebalance() between epochs redraws the shard
+        # boundaries the 'off'-mode report truncates at, so the cache must
+        # not outlive the partition it was stitched against.
+        self._corridor_cache_rebalances = 0
         self._epochs_processed = 0
         self._total_processing_seconds = 0.0
 
@@ -189,6 +221,12 @@ class Coordinator:
         outcome.paths_inserted = epoch_result.paths_inserted
         outcome.paths_reused = epoch_result.paths_reused
 
+        # Epoch-boundary rebalance check: a kd fleet whose record load drifted
+        # past the imbalance threshold refits its partition and migrates here,
+        # between epochs — behaviour-invisible (state moves, answers don't).
+        if self.router is not None:
+            outcome.rebalanced = self.router.maybe_rebalance()
+
         outcome.processing_seconds = time.perf_counter() - started
         self._epochs_processed += 1
         self._total_processing_seconds += outcome.processing_seconds
@@ -211,7 +249,9 @@ class Coordinator:
             "max_shard_records": size,
             "min_shard_records": size,
             "mean_shard_records": size,
+            "imbalance": 1.0,
             "straddling_paths": 0,
+            "rebalances": 0,
         }
 
     def hot_paths(self) -> List[Tuple[MotionPathRecord, int]]:
@@ -240,13 +280,17 @@ class Coordinator:
         required to reproduce bit for bit.  The first query after an
         epoch's commit stitches once and caches the report until the next
         epoch; mutating the index or hotness directly between epochs
-        (outside ``run_epoch``) does not refresh that cache.
+        (outside ``run_epoch``) does not refresh that cache.  A partition
+        rebalance *does* refresh it — in ``off`` mode corridors truncate at
+        shard boundaries, and a migration moves the boundaries.
         """
-        if self._corridor_cache is None:
+        rebalances = self.router.rebalances if self.router is not None else 0
+        if self._corridor_cache is None or self._corridor_cache_rebalances != rebalances:
             if self.router is not None:
                 self._corridor_cache = self.router.stitch_epoch()
             else:
                 self._corridor_cache = stitch_paths(self.hot_paths())
+            self._corridor_cache_rebalances = rebalances
         return self._corridor_cache
 
     def top_k_corridors(self, k: int, by_score: bool = False) -> List[CompositeCorridor]:

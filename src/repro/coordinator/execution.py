@@ -101,6 +101,7 @@ order regardless of the internal arrangement a rebuild produces.
 
 from __future__ import annotations
 
+import heapq
 import os
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
@@ -271,6 +272,16 @@ class ExecutionBackend(ABC):
     def close(self) -> None:
         """Release pool resources; the backend may be lazily revived afterwards."""
 
+    def on_rebalance(self) -> None:
+        """The router migrated its fleet to a new partition.
+
+        Backends reading live router state (serial, threads) need no action;
+        backends holding replicated state (processes) must discard it — the
+        shard bounds, record placement and load-aware worker assignment all
+        changed, and the router reset its journal — and re-bootstrap from a
+        fresh snapshot on the next epoch.
+        """
+
     # -- shared helpers ---------------------------------------------------------
 
     @staticmethod
@@ -317,6 +328,8 @@ class ThreadBackend(ExecutionBackend):
     parallel_decisions = True
 
     def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"worker count must be at least 1, got {workers}")
         self._workers = workers if workers is not None else _default_workers()
         self._pool: Optional[ThreadPoolExecutor] = None
 
@@ -486,12 +499,16 @@ class ProcessBackend(ExecutionBackend):
     """Process-pool backend: candidate passes on replicated shard indexes.
 
     Each persistent worker owns replicas of the start-entry indexes of its
-    statically assigned shards (``shard_id % workers``), bootstrapped from a
-    snapshot of the live records at spawn time and fed its slice of the
-    router's mutation journal at the start of each epoch (replication is
-    cheap: one small tuple per insert or delete, partitioned across the
-    pool, and the journal prefix every worker has replayed is dropped each
-    epoch).  The parent ships each worker its shard buckets as flat float
+    assigned shards — assigned load-aware at spawn time
+    (:meth:`assign_shards`: heaviest shard onto the least-loaded worker,
+    from the same per-shard record counts the rebalance protocol reads) —
+    bootstrapped from a snapshot of the live records at spawn time and fed
+    its slice of the router's mutation journal at the start of each epoch
+    (replication is cheap: one small tuple per insert or delete, partitioned
+    across the pool, and the journal prefix every worker has replayed is
+    dropped each epoch).  A partition rebalance discards the fleet
+    (:meth:`on_rebalance`); the next epoch respawns it against the migrated
+    shards with a fresh assignment.  The parent ships each worker its shard buckets as flat float
     tuples and receives candidate *path ids*; records and hotness are
     attached parent-side from the authoritative index, so replicas never
     need the hotness tables.  Decisions commit on an in-process thread pool —
@@ -503,10 +520,13 @@ class ProcessBackend(ExecutionBackend):
     needs_journal = True
 
     def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"worker count must be at least 1, got {workers}")
         self._requested_workers = workers
         self._processes: List = []
         self._connections: List = []
         self._journal_seqs: List[int] = []
+        self._assignment: Dict[int, int] = {}
         self._decision_pool = ThreadBackend(workers)
 
     # -- worker lifecycle -------------------------------------------------------
@@ -524,20 +544,57 @@ class ProcessBackend(ExecutionBackend):
             return multiprocessing.get_context("fork")
         return multiprocessing.get_context()
 
+    @staticmethod
+    def assign_shards(loads: Sequence[int], workers: int) -> Dict[int, int]:
+        """Load-aware shard→worker assignment (longest-processing-time greedy).
+
+        ``loads[shard_id]`` is the shard's current record count.  Shards are
+        placed heaviest-first onto the least-loaded worker, so one hot
+        downtown shard no longer drags its modulo-siblings' replicas behind
+        it the way the old static ``shard_id % workers`` split did.  Ties
+        break by shard id and worker index, making the assignment a
+        deterministic function of the load vector.
+        """
+        if workers < 1:
+            raise ConfigurationError(f"worker count must be at least 1, got {workers}")
+        assignment: Dict[int, int] = {}
+        # (total load, shards held, worker): the shard count breaks load
+        # ties, so a fresh all-zero fleet still spreads round-robin instead
+        # of piling every shard onto worker 0.
+        worker_loads = [(0, 0, worker) for worker in range(workers)]
+        heapq.heapify(worker_loads)
+        for load, shard_id in sorted(
+            ((load, shard_id) for shard_id, load in enumerate(loads)),
+            key=lambda item: (-item[0], item[1]),
+        ):
+            total, held, worker = heapq.heappop(worker_loads)
+            assignment[shard_id] = worker
+            heapq.heappush(worker_loads, (total + load, held + 1, worker))
+        return assignment
+
     def _ensure_workers(self, router) -> None:
         if self._processes:
             return
         context = self._spawn_context()
         workers = self._requested_workers
         if workers is None:
-            workers = min(len(router.shards), _default_workers())
-        workers = max(1, workers)
-        # Each worker replicates only its statically assigned shards
-        # (shard_id % workers), so replica memory and journal replay are
-        # partitioned, not multiplied, across the pool.
+            workers = _default_workers()
+        # More workers than shards would leave the excess holding no
+        # replicas, replaying empty journal slices and answering empty
+        # epochs forever — clamp instead of spawning dead processes.
+        workers = max(1, min(workers, len(router.shards)))
+        # Each worker replicates only its assigned shards, so replica memory
+        # and journal replay are partitioned, not multiplied, across the
+        # pool.  The assignment is load-aware: it balances the shards'
+        # current record counts (the same statistics the rebalance protocol
+        # reads) and is recomputed whenever the pool respawns — including
+        # after a partition migration.
+        self._assignment = self.assign_shards(
+            [len(shard.index) for shard in router.shards], workers
+        )
         shard_configs: List[list] = [[] for _ in range(workers)]
         for shard in router.shards:
-            shard_configs[shard.shard_id % workers].append(
+            shard_configs[self._assignment[shard.shard_id]].append(
                 (
                     shard.shard_id,
                     (
@@ -555,7 +612,7 @@ class ProcessBackend(ExecutionBackend):
         snapshot_ops: List[list] = [[] for _ in range(workers)]
         for path_id, shard in router.owners.items():
             record = shard.index.get(path_id)
-            snapshot_ops[shard.shard_id % workers].append(
+            snapshot_ops[self._assignment[shard.shard_id]].append(
                 (
                     "i",
                     path_id,
@@ -582,7 +639,7 @@ class ProcessBackend(ExecutionBackend):
             self._journal_seqs.append(journal_seq)
 
     def _worker_of(self, shard_id: int) -> int:
-        return shard_id % len(self._processes)
+        return self._assignment[shard_id]
 
     @staticmethod
     def _op_shard(op) -> int:
@@ -635,7 +692,7 @@ class ProcessBackend(ExecutionBackend):
             ops = [
                 op
                 for op in journal[self._journal_seqs[worker] : journal_length]
-                if self._op_shard(op) % worker_count == worker
+                if self._assignment[self._op_shard(op)] == worker
             ]
             connection.send(
                 ("work", ops, tasks_per_worker[worker], overlap_tasks_per_worker[worker])
@@ -667,7 +724,7 @@ class ProcessBackend(ExecutionBackend):
     def map_stitch_buckets(self, router, tasks):
         """Weld passes in the worker processes, one round trip per epoch.
 
-        Shard tasks follow the static shard→worker assignment.  Fragments are
+        Shard tasks follow the load-aware shard→worker assignment.  Fragments are
         shipped whole (id, endpoints, ownership flags), so replica freshness
         is irrelevant and the journal is untouched; workers answer with their
         shards' weld runs.
@@ -684,7 +741,7 @@ class ProcessBackend(ExecutionBackend):
             runs.extend(connection.recv())
         return runs
 
-    def close(self) -> None:
+    def _shutdown_workers(self) -> None:
         for connection in self._connections:
             try:
                 connection.send(("stop",))
@@ -698,6 +755,18 @@ class ProcessBackend(ExecutionBackend):
         self._processes = []
         self._connections = []
         self._journal_seqs = []
+        self._assignment = {}
+
+    def on_rebalance(self) -> None:
+        """Discard the replica fleet: shard bounds, record placement and the
+        load-aware assignment all changed with the partition.  The next epoch
+        respawns workers from a snapshot of the migrated fleet (the router
+        reset its journal, so no stale pre-migration op can reach a fresh
+        replica); the in-process decision pool holds no state and stays up."""
+        self._shutdown_workers()
+
+    def close(self) -> None:
+        self._shutdown_workers()
         self._decision_pool.close()
 
 

@@ -102,6 +102,32 @@ class HotnessTracker:
         for expiry, path_id in deferred:
             heapq.heappush(self._events, (expiry, mapping.get(path_id, path_id)))
 
+    # -- migration (shard rebalancing) ---------------------------------------------
+
+    def export_state(self) -> Tuple[Dict[int, int], List[Tuple[int, int]]]:
+        """Hand off all counters and pending expiry events, leaving the tracker empty.
+
+        Used by the shard rebalance protocol: the returned ``(counters,
+        events)`` are re-adopted by the migrated paths' new owner trackers
+        via :meth:`adopt_count` / :meth:`adopt_event`.  Must not be called
+        inside a deferred span (a parallel commit is never open at a
+        rebalance point).
+        """
+        if self._deferred is not None:
+            raise CoordinatorError("cannot export hotness state inside a deferred span")
+        counters, events = self._hotness, self._events
+        self._hotness, self._events = {}, []
+        return counters, events
+
+    def adopt_count(self, path_id: int, hotness: int) -> None:
+        """Absorb a migrated hotness counter (the path's events follow separately)."""
+        if hotness:
+            self._hotness[path_id] = self._hotness.get(path_id, 0) + hotness
+
+    def adopt_event(self, expiry: int, path_id: int) -> None:
+        """Absorb one migrated expiry event, preserving the heap invariant."""
+        heapq.heappush(self._events, (expiry, path_id))
+
     # -- queries -------------------------------------------------------------------
 
     def hotness(self, path_id: int) -> int:

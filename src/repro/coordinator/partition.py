@@ -1,0 +1,457 @@
+"""Spatial partition layer behind the shard router.
+
+PR 1 hard-wired the shard fleet to a uniform R x C grid: routing, halo
+planning, conflict grouping and worker bootstrap all did grid arithmetic
+directly.  This module extracts the partition into one small abstraction so
+the fleet can run non-uniform, load-adaptive layouts behind the unchanged
+:class:`~repro.coordinator.sharding.ShardRouter` interface:
+
+* :class:`UniformGridPartition` (aliased as ``ShardGrid`` for backwards
+  compatibility) — the original R x C grid with clamped floor arithmetic;
+* :class:`KdSplitPartition` — a kd-split tree built by recursive quantile
+  splits on endpoint density, the standard fix for skewed workloads (hot
+  downtown cells vs. empty suburbs) in distributed spatial indexing.
+
+Every partition divides the **whole plane** into exactly ``num_shards``
+cells: border cells extend past the monitored bounds, which is how points
+outside the nominal area are "clamped" into border shards without a special
+case.  The contract the router relies on:
+
+* :meth:`Partition.shard_id_of` is total — every point maps to exactly one
+  shard;
+* :meth:`Partition.shard_ids_overlapping` returns every shard whose cell
+  intersects a query rectangle (so region queries fanning out over it never
+  miss an endpoint entry), in ascending shard-id order;
+* :meth:`Partition.single_shard_of` is the fast path of the shard-local
+  view: the one shard fully containing a rectangle, or ``None``;
+* :meth:`Partition.ring_of` generalises the fixed overlap halo: the shards
+  within ``h`` adjacency steps (Chebyshev rings on the uniform grid, BFS
+  over cell adjacency on a kd partition);
+* :meth:`Partition.describe` is a canonical value-equality key — two
+  partitions with equal descriptions route every point identically, which
+  the rebalance protocol uses to skip no-op migrations.
+
+**Exactness.**  Nothing the differential harness pins depends on the
+partition's *shape*: path ids come from a global counter, decisions replay
+submission order, endpoint-owner routing holds every vertex's entries with
+exactly one shard, and the adaptive overlap halo is exact for any plane
+cover (two intersecting FSAs share the shard owning any point of their
+intersection).  Swapping the uniform grid for a kd partition — or migrating
+between two kd partitions mid-stream — therefore preserves bit-for-bit
+equivalence with the seed coordinator; ``tests/test_sharding_equivalence.py``
+asserts it.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.errors import ConfigurationError
+from repro.core.geometry import Point, Rectangle
+
+__all__ = [
+    "PARTITION_KINDS",
+    "shard_layout",
+    "Partition",
+    "UniformGridPartition",
+    "KdSplitPartition",
+    "create_partition",
+]
+
+#: Partition kinds accepted by the config layers and the CLI ``--partition``
+#: flag: ``uniform`` is the fixed R x C grid, ``kd`` the load-adaptive
+#: kd-split partition (refitted by the epoch-boundary rebalance protocol).
+PARTITION_KINDS: Tuple[str, ...] = ("uniform", "kd")
+
+#: A kd tree node: ``(axis, value, left, right)`` internal nodes with
+#: ``axis`` 0 for x and 1 for y (coordinates ``< value`` descend left,
+#: ``>= value`` right), or an ``int`` leaf holding its shard id.
+_KdNode = Union[int, Tuple[int, float, "_KdNode", "_KdNode"]]
+
+
+def shard_layout(num_shards: int) -> Tuple[int, int]:
+    """Factor ``num_shards`` into the most square ``(rows, cols)`` grid.
+
+    4 becomes 2x2, 16 becomes 4x4, 6 becomes 2x3; a prime count degrades to a
+    single row of column stripes.
+    """
+    if num_shards <= 0:
+        raise ConfigurationError(f"num_shards must be positive, got {num_shards}")
+    rows = int(math.isqrt(num_shards))
+    while num_shards % rows:
+        rows -= 1
+    return rows, num_shards // rows
+
+
+class Partition(ABC):
+    """How the monitored plane is divided into shard cells."""
+
+    #: Name of the partition family (one of :data:`PARTITION_KINDS`).
+    kind: str = "abstract"
+    #: The monitored area the partition was built over (cells at the border
+    #: own everything beyond it as well).
+    bounds: Rectangle
+
+    @property
+    @abstractmethod
+    def num_shards(self) -> int:
+        """Number of cells (= shards) in the partition."""
+
+    @abstractmethod
+    def shard_id_of(self, point: Point) -> int:
+        """The shard owning ``point`` (total: outside points hit border cells)."""
+
+    @abstractmethod
+    def shard_ids_overlapping(self, region: Rectangle) -> Iterator[int]:
+        """Every shard whose cell intersects ``region``, ascending by id."""
+
+    @abstractmethod
+    def shard_bounds(self, shard_id: int) -> Rectangle:
+        """The sub-rectangle of the monitored bounds covered by ``shard_id``."""
+
+    @abstractmethod
+    def single_shard_of(self, region: Rectangle) -> Optional[int]:
+        """The one shard whose cell contains all of ``region``, else ``None``."""
+
+    @abstractmethod
+    def ring_of(self, shard_id: int, halo: int) -> Set[int]:
+        """Shards within ``halo`` adjacency steps of ``shard_id`` (inclusive)."""
+
+    @abstractmethod
+    def describe(self) -> tuple:
+        """Canonical description: equal descriptions route identically."""
+
+
+class UniformGridPartition(Partition):
+    """Point-to-shard assignment over an R x C partition of the bounds.
+
+    Uses the same clamped floor arithmetic as :class:`GridIndex`, so ownership
+    is monotone in each coordinate: any query rectangle maps to a contiguous
+    inclusive range of shard rows and columns, and a point inside the
+    rectangle is always owned by a shard in that range (including points
+    clamped in from outside the monitored area).
+    """
+
+    kind = "uniform"
+
+    def __init__(self, bounds: Rectangle, rows: int, cols: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ConfigurationError(f"shard grid must be positive, got {rows}x{cols}")
+        self.bounds = bounds
+        self.rows = rows
+        self.cols = cols
+        self._shard_width = bounds.width / cols
+        self._shard_height = bounds.height / rows
+
+    @property
+    def num_shards(self) -> int:
+        return self.rows * self.cols
+
+    def cell_of(self, point: Point) -> Tuple[int, int]:
+        """The ``(col, row)`` of the shard owning ``point`` (clamped)."""
+        col = int((point.x - self.bounds.low.x) / self._shard_width)
+        row = int((point.y - self.bounds.low.y) / self._shard_height)
+        return (
+            min(max(col, 0), self.cols - 1),
+            min(max(row, 0), self.rows - 1),
+        )
+
+    def shard_id_of(self, point: Point) -> int:
+        col, row = self.cell_of(point)
+        return row * self.cols + col
+
+    def span_of(self, region: Rectangle) -> Tuple[int, int, int, int]:
+        """Inclusive ``(col_lo, col_hi, row_lo, row_hi)`` shard range of ``region``."""
+        col_lo, row_lo = self.cell_of(region.low)
+        col_hi, row_hi = self.cell_of(region.high)
+        return col_lo, col_hi, row_lo, row_hi
+
+    def shard_ids_overlapping(self, region: Rectangle) -> Iterator[int]:
+        col_lo, col_hi, row_lo, row_hi = self.span_of(region)
+        for row in range(row_lo, row_hi + 1):
+            base = row * self.cols
+            for col in range(col_lo, col_hi + 1):
+                yield base + col
+
+    def single_shard_of(self, region: Rectangle) -> Optional[int]:
+        col_lo, col_hi, row_lo, row_hi = self.span_of(region)
+        if col_lo != col_hi or row_lo != row_hi:
+            return None
+        return row_lo * self.cols + col_lo
+
+    def sub_bounds(self, col: int, row: int) -> Rectangle:
+        """The sub-rectangle covered by shard ``(col, row)``.
+
+        The last row/column extends exactly to the global bounds so no strip
+        of the area is lost to floating-point division.
+        """
+        low = Point(
+            self.bounds.low.x + col * self._shard_width,
+            self.bounds.low.y + row * self._shard_height,
+        )
+        high = Point(
+            self.bounds.high.x if col == self.cols - 1 else low.x + self._shard_width,
+            self.bounds.high.y if row == self.rows - 1 else low.y + self._shard_height,
+        )
+        return Rectangle(low, high)
+
+    def shard_bounds(self, shard_id: int) -> Rectangle:
+        row, col = divmod(shard_id, self.cols)
+        return self.sub_bounds(col, row)
+
+    def ring_of(self, shard_id: int, halo: int) -> Set[int]:
+        """All shards within Chebyshev distance ``halo`` in shard coordinates."""
+        row, col = divmod(shard_id, self.cols)
+        return {
+            ring_row * self.cols + ring_col
+            for ring_row in range(max(0, row - halo), min(self.rows, row + halo + 1))
+            for ring_col in range(max(0, col - halo), min(self.cols, col + halo + 1))
+        }
+
+    def describe(self) -> tuple:
+        return (
+            "uniform",
+            self.rows,
+            self.cols,
+            self.bounds.low.as_tuple(),
+            self.bounds.high.as_tuple(),
+        )
+
+
+class KdSplitPartition(Partition):
+    """Leaves of a kd-split tree: non-uniform cells fitted to point density.
+
+    Built by :meth:`fit`: recursive splits on the wider axis of each cell, at
+    the weighted quantile of the sample coordinates that sends each side a
+    leaf count proportional to its sample mass — i.e. recursive median
+    splits when the leaf count is a power of two.  Leaves are numbered in
+    in-order (left-to-right) traversal order, so shard ids are a
+    deterministic function of the fitted splits.
+
+    The tree divides the whole plane: coordinates below a split descend
+    left, coordinates at or above it descend right, and border cells are
+    unbounded — the kd equivalent of the uniform grid's clamping.
+    :meth:`shard_bounds` reports each leaf cell clipped to the monitored
+    bounds (every split lies strictly inside its cell, so clipped cells
+    always have positive area and can seat a per-shard grid index).
+    """
+
+    kind = "kd"
+
+    def __init__(self, bounds: Rectangle, root: _KdNode, leaf_bounds: Sequence[Rectangle]) -> None:
+        self.bounds = bounds
+        self._root = root
+        self._leaf_bounds: List[Rectangle] = list(leaf_bounds)
+        self._adjacency: Optional[List[Set[int]]] = None
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        bounds: Rectangle,
+        num_shards: int,
+        points: Sequence[Tuple[float, float]] = (),
+    ) -> "KdSplitPartition":
+        """Fit a ``num_shards``-leaf kd partition to a point sample.
+
+        ``points`` are ``(x, y)`` tuples (endpoint density samples); with no
+        sample every split falls back to the cell midpoint, which degrades to
+        a balanced binary-space partition of the bounds.  The fit is a pure
+        function of the *set* of samples: the sample is sorted per axis once
+        up front (so sample order never changes the splits) and each split
+        partitions the sorted lists in place — the whole fit is
+        O(n log n + n log shards).
+        """
+        if num_shards <= 0:
+            raise ConfigurationError(f"num_shards must be positive, got {num_shards}")
+        if bounds.width <= 0 or bounds.height <= 0:
+            raise ConfigurationError("partition bounds must have positive area")
+        leaf_bounds: List[Rectangle] = []
+
+        def split(
+            cell: Rectangle,
+            leaves: int,
+            by_x: List[Tuple[float, float]],
+            by_y: List[Tuple[float, float]],
+        ) -> _KdNode:
+            if leaves == 1:
+                leaf_bounds.append(cell)
+                return len(leaf_bounds) - 1
+            axis = 0 if cell.width >= cell.height else 1
+            low = cell.low.x if axis == 0 else cell.low.y
+            high = cell.high.x if axis == 0 else cell.high.y
+            left_leaves = (leaves + 1) // 2
+            ordered = by_x if axis == 0 else by_y
+            value = cls._split_value(
+                [p[axis] for p in ordered], left_leaves / leaves, low, high
+            )
+            # Filtering the pre-sorted lists preserves their order, so each
+            # tree level costs O(sample) — the sample is sorted once per
+            # axis up front, never inside the recursion.
+            left_x = [p for p in by_x if p[axis] < value]
+            right_x = [p for p in by_x if p[axis] >= value]
+            left_y = [p for p in by_y if p[axis] < value]
+            right_y = [p for p in by_y if p[axis] >= value]
+            if axis == 0:
+                left_cell = Rectangle(cell.low, Point(value, cell.high.y))
+                right_cell = Rectangle(Point(value, cell.low.y), cell.high)
+            else:
+                left_cell = Rectangle(cell.low, Point(cell.high.x, value))
+                right_cell = Rectangle(Point(cell.low.x, value), cell.high)
+            left = split(left_cell, left_leaves, left_x, left_y)
+            right = split(right_cell, leaves - left_leaves, right_x, right_y)
+            return (axis, value, left, right)
+
+        sample = [(p[0], p[1]) for p in points]
+        root = split(
+            bounds,
+            num_shards,
+            sorted(sample),
+            sorted(sample, key=lambda p: (p[1], p[0])),
+        )
+        return cls(bounds, root, leaf_bounds)
+
+    @staticmethod
+    def _split_value(coords: List[float], fraction: float, low: float, high: float) -> float:
+        """The split coordinate: a sample quantile, clamped strictly inside the cell.
+
+        The quantile is the midpoint of two adjacent sorted samples — which
+        coincides with a sample coordinate when duplicates surround the cut
+        (the coordinate then routes right, like any on-split point).  What
+        rules out degenerate cells is the clamp, not the midpoint: whenever
+        the quantile is not strictly inside ``(low, high)`` — empty sample,
+        all coordinates equal, or a cut at the cell edge — the cell
+        midpoint is used instead, and a positive-extent cell always has a
+        strictly interior midpoint.
+        """
+        midpoint = (low + high) / 2.0
+        if len(coords) < 2:
+            return midpoint
+        cut = min(len(coords) - 1, max(1, round(fraction * len(coords))))
+        value = (coords[cut - 1] + coords[cut]) / 2.0
+        if not (low < value < high):
+            return midpoint
+        return value
+
+    # -- partition interface ----------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._leaf_bounds)
+
+    def shard_id_of(self, point: Point) -> int:
+        node = self._root
+        while not isinstance(node, int):
+            axis, value, left, right = node
+            coordinate = point.x if axis == 0 else point.y
+            node = left if coordinate < value else right
+        return node
+
+    def shard_ids_overlapping(self, region: Rectangle) -> Iterator[int]:
+        stack: List[_KdNode] = [self._root]
+        found: List[int] = []
+        while stack:
+            node = stack.pop()
+            if isinstance(node, int):
+                found.append(node)
+                continue
+            axis, value, left, right = node
+            low = region.low.x if axis == 0 else region.low.y
+            high = region.high.x if axis == 0 else region.high.y
+            if high >= value:
+                stack.append(right)
+            if low < value:
+                stack.append(left)
+        # Ascending id order, matching the uniform grid's iteration contract.
+        return iter(sorted(found))
+
+    def shard_bounds(self, shard_id: int) -> Rectangle:
+        return self._leaf_bounds[shard_id]
+
+    def single_shard_of(self, region: Rectangle) -> Optional[int]:
+        node = self._root
+        while not isinstance(node, int):
+            axis, value, left, right = node
+            low = region.low.x if axis == 0 else region.low.y
+            high = region.high.x if axis == 0 else region.high.y
+            if high < value:
+                node = left
+            elif low >= value:
+                node = right
+            else:
+                return None
+        return node
+
+    def ring_of(self, shard_id: int, halo: int) -> Set[int]:
+        """BFS over cell adjacency — the kd analogue of a Chebyshev ring.
+
+        Two cells are adjacent when their (closed) rectangles touch, corners
+        included, mirroring the uniform grid where a ring of 1 covers the
+        eight surrounding cells.
+        """
+        if self._adjacency is None:
+            cells = self._leaf_bounds
+            self._adjacency = [
+                {
+                    other
+                    for other in range(len(cells))
+                    if other != cell_id and self._touch(cells[cell_id], cells[other])
+                }
+                for cell_id in range(len(cells))
+            ]
+        frontier = {shard_id}
+        ring = {shard_id}
+        for _step in range(halo):
+            frontier = {
+                neighbour
+                for cell_id in frontier
+                for neighbour in self._adjacency[cell_id]
+                if neighbour not in ring
+            }
+            if not frontier:
+                break
+            ring.update(frontier)
+        return ring
+
+    @staticmethod
+    def _touch(a: Rectangle, b: Rectangle) -> bool:
+        return (
+            a.low.x <= b.high.x
+            and b.low.x <= a.high.x
+            and a.low.y <= b.high.y
+            and b.low.y <= a.high.y
+        )
+
+    def describe(self) -> tuple:
+        def serialize(node: _KdNode) -> tuple:
+            if isinstance(node, int):
+                return ("leaf", node)
+            axis, value, left, right = node
+            return (axis, value, serialize(left), serialize(right))
+
+        return (
+            "kd",
+            self.bounds.low.as_tuple(),
+            self.bounds.high.as_tuple(),
+            serialize(self._root),
+        )
+
+
+def create_partition(kind: str, bounds: Rectangle, num_shards: int) -> Partition:
+    """Build the initial partition of a fresh router (no density data yet).
+
+    ``uniform`` factors ``num_shards`` into the most square R x C grid;
+    ``kd`` fits a sample-free kd partition (midpoint splits — a balanced
+    binary-space partition the rebalance protocol refits once load exists).
+    """
+    if kind == "uniform":
+        rows, cols = shard_layout(num_shards)
+        return UniformGridPartition(bounds, rows, cols)
+    if kind == "kd":
+        return KdSplitPartition.fit(bounds, num_shards)
+    raise ConfigurationError(
+        f"partition must be one of {', '.join(PARTITION_KINDS)}, got {kind!r}"
+    )

@@ -2,8 +2,10 @@
 
 The paper's coordinator is a single process owning one grid index, one hotness
 tracker and one SinglePath strategy.  To scale towards millions of objects the
-monitored area is partitioned into an R x C *shard grid*; every shard owns the
-full coordinator state for its sub-rectangle:
+monitored area is partitioned into a fleet of shards — by default a uniform
+R x C *shard grid*, optionally a load-adaptive kd-split layout (see the
+partition layer in :mod:`repro.coordinator.partition` and the rebalance
+protocol below); every shard owns the full coordinator state for its cell:
 
 * a :class:`~repro.coordinator.grid_index.GridIndex` holding the motion-path
   records whose **start** vertex falls in the shard, plus the endpoint entries
@@ -19,10 +21,28 @@ that owns the endpoint's location; the record itself (and the path's hotness)
 lives with the shard owning the *start* vertex.  A path straddling a shard
 boundary therefore has its start entry and record in one shard and its end
 entry in the neighbouring shard, which the neighbour resolves through the
-router when a query returns that entry.  Point-to-shard assignment uses the
-same clamped floor arithmetic as the per-shard grids, so points outside the
-monitored area land in border shards and every query region maps to a
-contiguous rectangle of shards.
+router when a query returns that entry.  Point-to-shard assignment is the
+active partition's (:attr:`ShardRouter.grid`): total over the plane, so
+points outside the monitored area land in border shards, and every query
+region fans out to exactly the shards whose cells it overlaps.
+
+**Load-adaptive rebalancing.**  :meth:`ShardRouter.shard_statistics` exposes
+how unevenly records spread over the fleet (``imbalance`` = max/mean shard
+records); on skewed workloads (hot downtown cells vs. empty suburbs) a
+uniform grid concentrates most of the state on a few shards, which
+serialises the parallel epoch pipeline.  With ``partition="kd"`` the router
+runs an epoch-boundary *rebalance protocol* (:meth:`ShardRouter.rebalance`,
+checked by :meth:`maybe_rebalance` after every epoch): when the imbalance
+exceeds the configured threshold, a fresh
+:class:`~repro.coordinator.partition.KdSplitPartition` is fitted to the
+live records' start-vertex density and the fleet *migrates* — grid-index
+entries re-route by endpoint ownership, hotness counters and pending expiry
+events follow their paths' new owners, boundary ledgers are recomputed, the
+mutation journal resets and process-backend replicas re-bootstrap from a
+fresh snapshot under a new load-aware shard→worker assignment.  Migration
+moves state, never answers: ids, geometry, counters and event times are
+preserved bit for bit, so a rebalanced fleet stays on the differential
+harness's exactness contract (``TestRebalanceDifferential``).
 
 **Batched epoch pipeline.**  :class:`ShardedSinglePath` processes an epoch's
 submissions in three batched stages instead of per-message dispatch:
@@ -131,6 +151,14 @@ from repro.coordinator.execution import (
 from repro.coordinator.grid_index import GridConfig, GridIndex
 from repro.coordinator.hotness import HotnessTracker
 from repro.coordinator.overlaps import FsaOverlapStructure
+from repro.coordinator.partition import (
+    PARTITION_KINDS,
+    KdSplitPartition,
+    Partition,
+    UniformGridPartition,
+    create_partition,
+    shard_layout,
+)
 from repro.coordinator.stitching import (
     STITCHING_MODES,
     CompositeCorridor,
@@ -150,6 +178,10 @@ from repro.coordinator.single_path import (
 
 __all__ = [
     "shard_layout",
+    "PARTITION_KINDS",
+    "Partition",
+    "UniformGridPartition",
+    "KdSplitPartition",
     "OverlapPlan",
     "plan_shard_overlaps",
     "ShardGrid",
@@ -161,84 +193,10 @@ __all__ = [
 ]
 
 
-def shard_layout(num_shards: int) -> Tuple[int, int]:
-    """Factor ``num_shards`` into the most square ``(rows, cols)`` grid.
-
-    4 becomes 2x2, 16 becomes 4x4, 6 becomes 2x3; a prime count degrades to a
-    single row of column stripes.
-    """
-    if num_shards <= 0:
-        raise ConfigurationError(f"num_shards must be positive, got {num_shards}")
-    rows = int(math.isqrt(num_shards))
-    while num_shards % rows:
-        rows -= 1
-    return rows, num_shards // rows
-
-
-class ShardGrid:
-    """Point-to-shard assignment over an R x C partition of the bounds.
-
-    Uses the same clamped floor arithmetic as :class:`GridIndex`, so ownership
-    is monotone in each coordinate: any query rectangle maps to a contiguous
-    inclusive range of shard rows and columns, and a point inside the
-    rectangle is always owned by a shard in that range (including points
-    clamped in from outside the monitored area).
-    """
-
-    def __init__(self, bounds: Rectangle, rows: int, cols: int) -> None:
-        if rows <= 0 or cols <= 0:
-            raise ConfigurationError(f"shard grid must be positive, got {rows}x{cols}")
-        self.bounds = bounds
-        self.rows = rows
-        self.cols = cols
-        self._shard_width = bounds.width / cols
-        self._shard_height = bounds.height / rows
-
-    @property
-    def num_shards(self) -> int:
-        return self.rows * self.cols
-
-    def cell_of(self, point: Point) -> Tuple[int, int]:
-        """The ``(col, row)`` of the shard owning ``point`` (clamped)."""
-        col = int((point.x - self.bounds.low.x) / self._shard_width)
-        row = int((point.y - self.bounds.low.y) / self._shard_height)
-        return (
-            min(max(col, 0), self.cols - 1),
-            min(max(row, 0), self.rows - 1),
-        )
-
-    def shard_id_of(self, point: Point) -> int:
-        col, row = self.cell_of(point)
-        return row * self.cols + col
-
-    def span_of(self, region: Rectangle) -> Tuple[int, int, int, int]:
-        """Inclusive ``(col_lo, col_hi, row_lo, row_hi)`` shard range of ``region``."""
-        col_lo, row_lo = self.cell_of(region.low)
-        col_hi, row_hi = self.cell_of(region.high)
-        return col_lo, col_hi, row_lo, row_hi
-
-    def shard_ids_overlapping(self, region: Rectangle) -> Iterator[int]:
-        col_lo, col_hi, row_lo, row_hi = self.span_of(region)
-        for row in range(row_lo, row_hi + 1):
-            base = row * self.cols
-            for col in range(col_lo, col_hi + 1):
-                yield base + col
-
-    def sub_bounds(self, col: int, row: int) -> Rectangle:
-        """The sub-rectangle covered by shard ``(col, row)``.
-
-        The last row/column extends exactly to the global bounds so no strip
-        of the area is lost to floating-point division.
-        """
-        low = Point(
-            self.bounds.low.x + col * self._shard_width,
-            self.bounds.low.y + row * self._shard_height,
-        )
-        high = Point(
-            self.bounds.high.x if col == self.cols - 1 else low.x + self._shard_width,
-            self.bounds.high.y if row == self.rows - 1 else low.y + self._shard_height,
-        )
-        return Rectangle(low, high)
+#: Backwards-compatible name of the uniform R x C partition (PR 1's only
+#: layout); the partition layer itself lives in
+#: :mod:`repro.coordinator.partition`.
+ShardGrid = UniformGridPartition
 
 
 @dataclass
@@ -260,13 +218,16 @@ class OverlapPlan:
 
 
 def plan_shard_overlaps(
-    grid: "ShardGrid",
+    grid: Partition,
     buckets: Dict[int, List[Tuple[int, "ObjectState"]]],
     fsas: Dict[int, Rectangle],
     halo: Optional[int] = None,
 ) -> OverlapPlan:
     """Assign every bucketed shard the FSA pool of its overlap halo.
 
+    ``grid`` is any :class:`~repro.coordinator.partition.Partition` — the
+    plan derives halo shards from the partition's own routing and adjacency,
+    never from grid arithmetic, so non-uniform (kd) layouts plan identically.
     ``fsas`` is the epoch's ``object_id -> final FSA`` map in submission order
     (a duplicate reporter keeps its first position but the later FSA — the
     same replacement the global build applies).  Each FSA is routed to every
@@ -275,15 +236,15 @@ def plan_shard_overlaps(
 
     * ``halo=None`` (the default) uses the **adaptive exact halo**: the shard
       itself plus every shard overlapped by any FSA in its bucket.  Any FSA
-      intersecting a bucket state's FSA shares a shard with it (the grid's
-      span arithmetic is monotone, so the intersection's span is contained in
-      both spans), hence lands in the pool — the construction the equivalence
-      argument in the module docstring relies on.
-    * ``halo=h >= 0`` uses a **fixed ring**: all shards within Chebyshev
-      distance ``h`` in shard coordinates.  FSAs interacting only beyond the
-      ring are truncated away, so queries may deviate from the global build;
-      a ring covering the whole grid (``h >= max(rows, cols) - 1``) is again
-      exact.
+      intersecting a bucket state's FSA shares a shard with it (the shard
+      owning any point of the intersection — partitions cover the plane),
+      hence lands in the pool — the construction the equivalence argument in
+      the module docstring relies on.
+    * ``halo=h >= 0`` uses a **fixed ring**: all shards within ``h``
+      adjacency steps (:meth:`Partition.ring_of` — Chebyshev rings on the
+      uniform grid, cell-adjacency BFS on a kd partition).  FSAs interacting
+      only beyond the ring are truncated away, so queries may deviate from
+      the global build; a ring covering the whole fleet is again exact.
     """
     spans = {
         object_id: frozenset(grid.shard_ids_overlapping(fsa))
@@ -298,12 +259,7 @@ def plan_shard_overlaps(
             for _position, state in bucket:
                 halo_shards.update(grid.shard_ids_overlapping(state.fsa))
         else:
-            row, col = divmod(shard_id, grid.cols)
-            halo_shards = {
-                ring_row * grid.cols + ring_col
-                for ring_row in range(max(0, row - halo), min(grid.rows, row + halo + 1))
-                for ring_col in range(max(0, col - halo), min(grid.cols, col + halo + 1))
-            }
+            halo_shards = grid.ring_of(shard_id, halo)
         members = tuple(
             object_id for object_id, span in spans.items()
             if not halo_shards.isdisjoint(span)
@@ -319,11 +275,17 @@ def plan_shard_overlaps(
 
 @dataclass
 class Shard:
-    """One shard: its sub-area plus the coordinator state it owns."""
+    """One shard: its sub-area plus the coordinator state it owns.
+
+    Grid coordinates are deliberately absent — a cell's place in the layout
+    is the partition's business (:attr:`ShardRouter.grid`), not the
+    shard's.  ``bounds`` and ``index`` are replaced in place when the
+    rebalance protocol migrates the fleet to a new partition; ``shard_id``,
+    ``hotness`` (contents redistributed) and ``strategy`` (bound to a
+    router-backed view that reads the live index) survive migrations.
+    """
 
     shard_id: int
-    col: int
-    row: int
     bounds: Rectangle
     index: GridIndex
     hotness: HotnessTracker
@@ -343,11 +305,7 @@ class _ShardLocalView:
         self._shard_id = shard_id
 
     def _local_only(self, region: Rectangle) -> bool:
-        grid = self._router.grid
-        col_lo, col_hi, row_lo, row_hi = grid.span_of(region)
-        if col_lo != col_hi or row_lo != row_hi:
-            return False
-        return row_lo * grid.cols + col_lo == self._shard_id
+        return self._router.grid.single_shard_of(region) == self._shard_id
 
     @property
     def _local_index(self) -> GridIndex:
@@ -648,9 +606,43 @@ class ShardRouter:
         backend: Union[str, ExecutionBackend] = "serial",
         overlap_halo: Optional[int] = None,
         stitching: str = "exact",
+        partition: Union[str, Partition] = "uniform",
+        rebalance_threshold: float = 2.0,
     ) -> None:
-        rows, cols = shard_layout(num_shards)
-        self.grid = ShardGrid(bounds, rows, cols)
+        if isinstance(partition, Partition):
+            if partition.num_shards != num_shards:
+                raise ConfigurationError(
+                    f"partition has {partition.num_shards} cells, expected {num_shards}"
+                )
+            if partition.bounds != bounds:
+                raise ConfigurationError(
+                    f"partition bounds {partition.bounds} do not match the "
+                    f"monitored bounds {bounds}"
+                )
+            self.grid = partition
+        else:
+            self.grid = create_partition(partition, bounds, num_shards)
+        if rebalance_threshold <= 1.0:
+            raise ConfigurationError(
+                f"rebalance_threshold must exceed 1.0 (max/mean load), got {rebalance_threshold}"
+            )
+        #: Load-imbalance ratio (``max_shard_records / mean_shard_records``)
+        #: above which :meth:`maybe_rebalance` refits a kd partition.
+        self.rebalance_threshold = rebalance_threshold
+        # Auto-rebalancing follows the *configured* layout, not the active
+        # one: a fleet configured uniform stays a deliberate fixed layout
+        # even after a manual rebalance() migrates it onto kd splits.
+        self._auto_rebalance = self.grid.kind == "kd"
+        #: Number of completed partition migrations (diagnostics).
+        self.rebalances = 0
+        # No-op-refit backoff: a workload the kd tree cannot split further
+        # (e.g. a point mass) keeps its imbalance above the threshold
+        # forever; after a refit that reproduced the active splits,
+        # exponentially more epoch boundaries are skipped before fitting
+        # again, bounding the amortised refit cost.  Purely epoch-counted,
+        # so the schedule stays deterministic and backend-independent.
+        self._refit_backoff = 0
+        self._refit_wait = 0
         self.global_grid_config = GridConfig(bounds, cells_per_axis)
         if overlap_halo is not None and overlap_halo < 0:
             raise ConfigurationError(
@@ -688,33 +680,24 @@ class ShardRouter:
         self._commit_base: Optional[int] = None
         self._commit_log: List[Tuple[int, MotionPathRecord]] = []
         self._commit_tls = threading.local()
-        # Shard grids must never be coarser than the global grid on either
-        # axis (GridConfig is square, shards may not be): divide by the
-        # smaller layout dimension so the worse axis matches the global cell
-        # size and the other gets finer.  Cells are stored sparsely, so the
-        # extra resolution costs nothing.
-        shard_cells = max(1, cells_per_axis // min(rows, cols))
+        shard_cells = self._shard_cells()
         self.owners: Dict[int, Shard] = {}
         self._next_path_id = 0
         self.shards: List[Shard] = []
-        for row in range(rows):
-            for col in range(cols):
-                shard_id = row * cols + col
-                sub_bounds = self.grid.sub_bounds(col, row)
-                index = GridIndex(
-                    GridConfig(sub_bounds, shard_cells), record_resolver=self._resolve
+        for shard_id in range(num_shards):
+            sub_bounds = self.grid.shard_bounds(shard_id)
+            index = GridIndex(
+                GridConfig(sub_bounds, shard_cells), record_resolver=self._resolve
+            )
+            self.shards.append(
+                Shard(
+                    shard_id=shard_id,
+                    bounds=sub_bounds,
+                    index=index,
+                    hotness=HotnessTracker(window),
+                    strategy=None,  # bound below, once the router views exist
                 )
-                self.shards.append(
-                    Shard(
-                        shard_id=shard_id,
-                        col=col,
-                        row=row,
-                        bounds=sub_bounds,
-                        index=index,
-                        hotness=HotnessTracker(window),
-                        strategy=None,  # bound below, once the router views exist
-                    )
-                )
+            )
         self.index = ShardedGridIndex(self)
         self.hotness = ShardedHotnessTracker(self, window)
         if isinstance(backend, str):
@@ -725,6 +708,167 @@ class ShardRouter:
             shard.strategy = SinglePathStrategy(
                 _ShardLocalView(self, shard.shard_id), self.hotness
             )
+
+    # -- partition layer --------------------------------------------------------
+
+    def _shard_cells(self) -> int:
+        """Per-shard grid resolution under the active partition.
+
+        Shard grids should never be much coarser than the global grid
+        (``GridConfig`` is square, shard cells may not be): divide the global
+        resolution by the layout's smaller dimension (uniform) or by the
+        square root of the fleet size (kd).  Resolution only affects cell
+        fan-out cost — every query filters entries exactly — so unequal kd
+        cells simply get proportionally finer grids where load is dense.
+        """
+        if isinstance(self.grid, UniformGridPartition):
+            divisor = min(self.grid.rows, self.grid.cols)
+        else:
+            divisor = max(1, math.isqrt(self.grid.num_shards))
+        return max(1, self.global_grid_config.cells_per_axis // divisor)
+
+    # -- load-adaptive rebalancing ----------------------------------------------
+
+    def maybe_rebalance(self) -> bool:
+        """Epoch-boundary rebalance check: refit a kd partition when skewed.
+
+        Runs only on fleets *configured* with the kd partition (the uniform
+        grid is a deliberate fixed layout — manually migrating one onto kd
+        splits does not opt it into automatic rebalancing).  When the
+        record-load imbalance (``max / mean`` shard
+        records) exceeds :attr:`rebalance_threshold`, the partition is
+        refitted to the current endpoint density and the fleet migrates; a
+        refit that reproduces the active splits is skipped — and backed off
+        exponentially — so a workload the kd tree cannot split further
+        (e.g. a point mass) neither thrashes nor pays an O(records log
+        records) fit at every epoch boundary.  Returns whether a migration
+        happened.
+        """
+        if not self._auto_rebalance or len(self.shards) <= 1:
+            return False
+        if self._refit_wait > 0:
+            self._refit_wait -= 1
+            return False
+        statistics = self.shard_statistics()
+        if not statistics["total_records"]:
+            return False
+        if statistics["imbalance"] <= self.rebalance_threshold:
+            return False
+        migrated = self.rebalance()
+        if migrated:
+            self._refit_backoff = 0
+        else:
+            self._refit_backoff = min(64, max(1, self._refit_backoff * 2))
+            self._refit_wait = self._refit_backoff
+        return migrated
+
+    def rebalance(self, partition: Optional[Partition] = None) -> bool:
+        """Refit the partition to the current load and migrate the fleet.
+
+        With ``partition=None`` a :class:`KdSplitPartition` is fitted to the
+        start vertices of every live record (record ownership follows the
+        start vertex, so balancing start-vertex density balances record
+        load), clamped into the monitored bounds exactly as routing clamps
+        them.  An explicit ``partition`` migrates to that layout instead
+        (it must keep the shard count).  Returns ``False`` without touching
+        anything when the new partition routes identically to the active one.
+
+        Migration preserves every observable: records keep their ids,
+        geometry, creation times, hotness counters and pending expiry
+        events — only *which shard holds them* changes — so a rebalanced
+        fleet remains bit-for-bit equivalent to the seed coordinator (the
+        differential harness forces migrations mid-replay to prove it).
+        Must run at an epoch boundary: never inside a parallel commit.
+        """
+        if self._commit_base is not None:
+            raise CoordinatorError("cannot rebalance during an open parallel commit")
+        if partition is None:
+            partition = KdSplitPartition.fit(
+                self.grid.bounds, len(self.shards), self._endpoint_samples()
+            )
+        elif partition.num_shards != len(self.shards):
+            raise ConfigurationError(
+                f"rebalance must keep the shard count: fleet has {len(self.shards)}, "
+                f"partition has {partition.num_shards}"
+            )
+        elif partition.bounds != self.grid.bounds:
+            raise ConfigurationError(
+                f"rebalance must keep the monitored bounds: fleet covers "
+                f"{self.grid.bounds}, partition covers {partition.bounds}"
+            )
+        if partition.describe() == self.grid.describe():
+            return False
+        self._migrate(partition)
+        return True
+
+    def _endpoint_samples(self) -> List[Tuple[float, float]]:
+        """Start-vertex density sample for the kd refit, clamped into bounds.
+
+        Uses every live record (deterministic: the fit sorts coordinates, so
+        sample order is irrelevant).  Endpoints outside the monitored area
+        are clamped in, mirroring how routing assigns them to border shards.
+        """
+        bounds = self.grid.bounds
+        samples = []
+        for path_id, shard in self.owners.items():
+            start = shard.index.get(path_id).path.start
+            samples.append(
+                (
+                    min(max(start.x, bounds.low.x), bounds.high.x),
+                    min(max(start.y, bounds.low.y), bounds.high.y),
+                )
+            )
+        return samples
+
+    def _migrate(self, partition: Partition) -> None:
+        """Move every piece of per-shard state onto ``partition``'s layout.
+
+        GridIndex entries are re-routed by endpoint ownership, hotness
+        counters and pending expiry events follow each path's new owner
+        (heap order is re-established per shard, and pops drain in sorted
+        ``(expiry, path_id)`` order regardless of arrangement, so deferral
+        of the rebuild is not observable), and the boundary ledgers are
+        recomputed from the migrated records.  Hotness entries whose record
+        is gone (possible via direct index manipulation) stay with their
+        previous shard id so their expiry events keep draining.  The
+        mutation journal is reset and the execution backend told to
+        re-bootstrap: process workers respawn lazily with a fresh snapshot
+        of the migrated fleet and a new load-aware shard assignment.
+        """
+        records = [
+            (path_id, shard.index.get(path_id)) for path_id, shard in self.owners.items()
+        ]
+        migrated_hotness = [shard.hotness.export_state() for shard in self.shards]
+        self.grid = partition
+        shard_cells = self._shard_cells()
+        for shard in self.shards:
+            shard.bounds = partition.shard_bounds(shard.shard_id)
+            shard.index = GridIndex(
+                GridConfig(shard.bounds, shard_cells), record_resolver=self._resolve
+            )
+        self.owners.clear()
+        self.boundary_ledger.clear()
+        for path_id, record in records:
+            start_owner = self.shard_of(record.path.start)
+            end_owner = self.shard_of(record.path.end)
+            start_owner.index.register(record)
+            start_owner.index.add_entry(record, is_start=True)
+            end_owner.index.add_entry(record, is_start=False)
+            self.owners[path_id] = start_owner
+            if start_owner is not end_owner:
+                self._ledger_add(path_id, start_owner.shard_id, end_owner.shard_id)
+        for previous_shard, (counters, events) in enumerate(migrated_hotness):
+            fallback = self.shards[previous_shard]
+            for path_id, count in counters.items():
+                owner = self.owners.get(path_id, fallback)
+                owner.hotness.adopt_count(path_id, count)
+            for expiry, path_id in events:
+                owner = self.owners.get(path_id, fallback)
+                owner.hotness.adopt_event(expiry, path_id)
+        if self._journal_enabled:
+            self.journal.clear()
+        self.pipeline.backend.on_rebalance()
+        self.rebalances += 1
 
     # -- routing -----------------------------------------------------------------
 
@@ -980,7 +1124,20 @@ class ShardRouter:
     # -- diagnostics ----------------------------------------------------------------
 
     def shard_statistics(self) -> Dict[str, float]:
-        """Load-balance diagnostics: how evenly records spread over the fleet."""
+        """Load-balance diagnostics: how evenly records spread over the fleet.
+
+        Per-shard load is ``len(shard.index)`` — the records the shard
+        *owns* (registered with the start owner).  A boundary-straddling
+        path contributes exactly one record to exactly one shard: the end
+        owner holds only an endpoint entry, never the record, so straddling
+        paths are not double-counted even though both endpoint shards can
+        see them through :meth:`boundary_ledger_of` (pinned by
+        ``tests/test_rebalancing.py::TestShardStatistics``).
+        ``straddling_paths`` likewise counts each straddling path once:
+        every path lives in exactly one per-boundary ledger (keyed by the
+        sorted shard pair).  ``imbalance`` is the ``max / mean`` load ratio
+        the rebalance protocol thresholds on (1.0 = perfectly even).
+        """
         sizes = [len(shard.index) for shard in self.shards]
         total = sum(sizes)
         mean = total / len(sizes) if sizes else 0.0
@@ -990,7 +1147,9 @@ class ShardRouter:
             "max_shard_records": max(sizes) if sizes else 0,
             "min_shard_records": min(sizes) if sizes else 0,
             "mean_shard_records": mean,
+            "imbalance": (max(sizes) / mean) if total else 1.0,
             "straddling_paths": sum(
                 len(entries) for entries in self.boundary_ledger.values()
             ),
+            "rebalances": self.rebalances,
         }

@@ -134,6 +134,8 @@ def scaled_simulation_config(
     backend: str = "serial",
     overlap_halo: Optional[int] = None,
     stitching: str = "exact",
+    partition: str = "uniform",
+    rebalance_threshold: float = 2.0,
     seed: int = 42,
 ) -> SimulationConfig:
     """Build a :class:`SimulationConfig` from paper defaults, scaled for Python.
@@ -166,6 +168,8 @@ def scaled_simulation_config(
         backend=backend,
         overlap_halo=overlap_halo,
         stitching=stitching,
+        partition=partition,
+        rebalance_threshold=rebalance_threshold,
         seed=seed,
         run_dp_baseline=run_dp_baseline,
         run_naive_baseline=run_naive_baseline,

@@ -64,7 +64,10 @@ class SimulationConfig:
     boundaries — bit-for-bit the seed coordinator's long-path report —
     while ``off`` truncates corridors at shard boundaries (quantified by
     the differential harness); individual path results are identical either
-    way.
+    way.  ``partition`` selects the fleet's spatial layout: ``uniform`` (the
+    fixed R x C grid) or ``kd`` (load-adaptive kd splits, rebalanced at
+    epoch boundaries when the shard-load imbalance exceeds
+    ``rebalance_threshold``); both are behaviour-identical.
     """
 
     num_objects: int = 20000
@@ -82,6 +85,8 @@ class SimulationConfig:
     backend: str = "serial"
     overlap_halo: Optional[int] = None
     stitching: str = "exact"
+    partition: str = "uniform"
+    rebalance_threshold: float = 2.0
     seed: int = 42
     report_uncertainty: bool = False
     run_dp_baseline: bool = True
@@ -180,6 +185,8 @@ class HotPathSimulation:
                 backend=config.backend,
                 overlap_halo=config.overlap_halo,
                 stitching=config.stitching,
+                partition=config.partition,
+                rebalance_threshold=config.rebalance_threshold,
             )
         )
         self.dp_baseline: Optional[DPHotSegmentTracker] = None

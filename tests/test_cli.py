@@ -60,6 +60,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--stitching", "approximate"])
 
+    def test_run_partition_flag(self):
+        for kind in ("uniform", "kd"):
+            args = build_parser().parse_args(["run", "--partition", kind])
+            assert args.partition == kind
+        defaults = build_parser().parse_args(["run"])
+        assert defaults.partition == "uniform"
+        assert defaults.rebalance_threshold == 2.0
+
+    def test_run_partition_rejects_unknown_value(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--partition", "voronoi"])
+
+    def test_run_rebalance_threshold_flag(self):
+        args = build_parser().parse_args(["run", "--rebalance-threshold", "1.3"])
+        assert args.rebalance_threshold == pytest.approx(1.3)
+
 
 class TestHelp:
     """``python -m repro --help`` must document the scale-out flags."""
@@ -92,6 +108,16 @@ class TestHelp:
         assert "{off,exact}" in captured
         assert "composite corridors" in captured
         assert "truncate at" in captured
+
+    def test_run_help_documents_partition(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--help"])
+        assert excinfo.value.code == 0
+        captured = capsys.readouterr().out
+        assert "--partition" in captured
+        assert "{uniform,kd}" in captured
+        assert "--rebalance-threshold" in captured
+        assert "endpoint density" in captured
 
 
 class TestRunCommand:
@@ -130,6 +156,26 @@ class TestRunCommand:
         assert exit_code == 0
         assert "stitching: off" in captured
         assert "cross-shard merge off" in captured
+
+    def test_run_with_kd_partition_reports_rebalances(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--objects", "60",
+                "--duration", "60",
+                "--network-nodes", "6",
+                "--area", "2000",
+                "--seed", "3",
+                "--shards", "4",
+                "--partition", "kd",
+                "--rebalance-threshold", "1.2",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "partition: kd" in captured
+        assert "imbalance:" in captured
+        assert "rebalances:" in captured
 
     def test_run_with_shards_reports_fleet(self, capsys):
         exit_code = main(

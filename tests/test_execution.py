@@ -296,6 +296,63 @@ class TestBackendRegression:
             drive(coordinator, stream)
             assert bool(coordinator.router.journal) == journal_expected, backend
 
+    def test_more_workers_than_shards_is_clamped_and_exact(self):
+        """Satellite regression: ``workers > num_shards`` used to spawn
+        workers with empty shard sets that replayed empty journals forever.
+        The pool must clamp to the shard count, and the results must stay
+        bit-for-bit identical."""
+        stream = boundary_stream(seed=13, epochs=4)
+        serial = drive(
+            Coordinator(
+                CoordinatorConfig(bounds=BOUNDS, window=40, num_shards=4, backend="serial")
+            ),
+            stream,
+        )
+        coordinator = Coordinator(
+            CoordinatorConfig(bounds=BOUNDS, window=40, num_shards=4, backend="serial")
+        )
+        # Swap in an oversized process pool directly (the CLI has no worker
+        # knob, but the backend API does).
+        backend = ProcessBackend(workers=9)
+        coordinator.router.pipeline.backend = backend
+        coordinator.router._journal_enabled = True
+        try:
+            oversized = drive(coordinator, stream)
+            assert oversized == serial
+            assert len(backend._processes) == 0  # drive() closed the pool
+        finally:
+            backend.close()
+
+    def test_oversized_pool_spawns_at_most_one_worker_per_shard(self):
+        coordinator = Coordinator(
+            CoordinatorConfig(bounds=BOUNDS, window=40, num_shards=4, backend="serial")
+        )
+        backend = ProcessBackend(workers=9)
+        coordinator.router.pipeline.backend = backend
+        coordinator.router._journal_enabled = True
+        try:
+            for state in boundary_stream(seed=13, epochs=1)[0][1]:
+                coordinator.submit_state(state)
+            coordinator.run_epoch(10)
+            assert len(backend._processes) == 4
+            # Every shard is assigned, and every spawned worker holds >= 1 shard.
+            assert sorted(backend._assignment) == [0, 1, 2, 3]
+            assert set(backend._assignment.values()) == set(range(4))
+        finally:
+            backend.close()
+            coordinator.close()
+
+    def test_invalid_worker_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessBackend(workers=0)
+        with pytest.raises(ConfigurationError):
+            ThreadBackend(workers=-1)
+        with pytest.raises(ConfigurationError):
+            create_backend("processes", workers=0)
+        with pytest.raises(ConfigurationError):
+            ProcessBackend.assign_shards([5, 3], workers=0)
+
+
     def test_parallel_path_ids_match_serial_allocation(self):
         """Renumbering reproduces the exact ids the serial replay allocates."""
         stream = boundary_stream(seed=23, epochs=4)
@@ -313,3 +370,40 @@ class TestBackendRegression:
         )
         for exp, act in zip(serial, threaded):
             assert [r[0] for r in act["records"]] == [r[0] for r in exp["records"]]
+
+
+class TestLoadAwareAssignment:
+    """``ProcessBackend.assign_shards``: deterministic LPT balancing."""
+
+    def test_heaviest_shards_spread_across_workers(self):
+        assignment = ProcessBackend.assign_shards([100, 90, 1, 2], workers=2)
+        # The two hot shards must not share a worker.
+        assert assignment[0] != assignment[1]
+        loads = {}
+        for shard_id, worker in assignment.items():
+            loads[worker] = loads.get(worker, 0) + [100, 90, 1, 2][shard_id]
+        assert max(loads.values()) <= 102
+
+    def test_assignment_is_deterministic(self):
+        loads = [5, 30, 30, 1, 17, 0, 8, 2]
+        reference = ProcessBackend.assign_shards(loads, workers=3)
+        for _ in range(5):
+            assert ProcessBackend.assign_shards(loads, workers=3) == reference
+
+    def test_every_shard_gets_a_worker(self):
+        assignment = ProcessBackend.assign_shards([0] * 16, workers=5)
+        assert sorted(assignment) == list(range(16))
+        assert set(assignment.values()) <= set(range(5))
+
+    def test_skewed_loads_beat_the_old_modulo_split(self):
+        """The motivating case: hot downtown shards used to collide on the
+        same modulo worker.  With shard loads concentrated on shards 0 and
+        4 (which share ``shard_id % 4 == 0``), LPT must separate them."""
+        loads = [80, 1, 1, 1, 70, 1, 1, 1]
+        assignment = ProcessBackend.assign_shards(loads, workers=4)
+        assert assignment[0] != assignment[4]
+        per_worker = {}
+        for shard_id, worker in assignment.items():
+            per_worker[worker] = per_worker.get(worker, 0) + loads[shard_id]
+        # Old modulo split would put 150 on one worker; LPT caps near max load.
+        assert max(per_worker.values()) <= 81

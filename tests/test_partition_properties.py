@@ -1,0 +1,233 @@
+"""Property suite for the spatial partition layer (``coordinator/partition.py``).
+
+The shard router's exactness contract rests on a handful of partition facts
+that hold for *any* layout — uniform grid or kd split:
+
+* the partition covers the plane: every point (inside or outside the
+  monitored bounds) is owned by exactly one shard, and that shard's clipped
+  cell contains the point once clamped into the bounds;
+* ``shard_ids_overlapping`` never misses an owner: the shard of any point
+  inside a query rectangle is in the rectangle's overlap set, and every
+  returned shard's cell really intersects the (clamped) rectangle;
+* ``single_shard_of`` is a sound fast path: when it names a shard, the
+  overlap set is exactly that shard;
+* kd fits are **total-order deterministic**: the splits are a pure function
+  of the sample *set* — permuting the sample never changes the partition;
+* cells tile the bounds: positive areas summing to the monitored area;
+* ``ring_of`` grows monotonically from the shard itself to the full fleet.
+
+These are hypothesis properties over random bounds, samples and shard
+counts; the differential harness (`tests/test_sharding_equivalence.py`)
+covers the end-to-end consequence — bit-for-bit equality with the seed
+coordinator under kd partitions and mid-stream rebalances.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.core.geometry import Point, Rectangle
+from repro.coordinator.partition import (
+    PARTITION_KINDS,
+    KdSplitPartition,
+    UniformGridPartition,
+    create_partition,
+    shard_layout,
+)
+
+BOUNDS = Rectangle(Point(0.0, 0.0), Point(1000.0, 1000.0))
+
+coordinates = st.floats(min_value=-200.0, max_value=1200.0)
+interior = st.floats(min_value=0.0, max_value=1000.0)
+shard_counts = st.sampled_from([1, 2, 3, 4, 5, 7, 8, 12, 16])
+
+
+@st.composite
+def samples(draw):
+    """A point sample with deliberate duplicates and boundary clusters."""
+    base = draw(
+        st.lists(st.tuples(interior, interior), min_size=0, max_size=60)
+    )
+    # A point mass stresses the degenerate-split fallback.
+    mass = draw(st.integers(min_value=0, max_value=10))
+    base.extend([(250.0, 250.0)] * mass)
+    return base
+
+
+@st.composite
+def rectangles(draw):
+    low_x, high_x = sorted((draw(coordinates), draw(coordinates)))
+    low_y, high_y = sorted((draw(coordinates), draw(coordinates)))
+    return Rectangle(Point(low_x, low_y), Point(high_x, high_y))
+
+
+def clamp(point: Point, bounds: Rectangle) -> Point:
+    return Point(
+        min(max(point.x, bounds.low.x), bounds.high.x),
+        min(max(point.y, bounds.low.y), bounds.high.y),
+    )
+
+
+@st.composite
+def partitions(draw):
+    count = draw(shard_counts)
+    if draw(st.booleans()):
+        rows, cols = shard_layout(count)
+        return UniformGridPartition(BOUNDS, rows, cols)
+    return KdSplitPartition.fit(BOUNDS, count, draw(samples()))
+
+
+class TestPlaneCover:
+    @given(partitions(), st.lists(st.tuples(coordinates, coordinates), min_size=1, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_every_point_has_exactly_one_owner_whose_cell_contains_it(self, partition, points):
+        for x, y in points:
+            shard_id = partition.shard_id_of(Point(x, y))
+            assert 0 <= shard_id < partition.num_shards
+            cell = partition.shard_bounds(shard_id)
+            clamped = clamp(Point(x, y), partition.bounds)
+            assert cell.contains_point(clamped), (
+                f"shard {shard_id} cell {cell} does not contain clamped point {clamped}"
+            )
+
+    @given(partitions())
+    @settings(max_examples=100, deadline=None)
+    def test_cells_tile_the_bounds(self, partition):
+        total_area = sum(
+            partition.shard_bounds(shard_id).area
+            for shard_id in range(partition.num_shards)
+        )
+        assert total_area == pytest.approx(partition.bounds.area, rel=1e-9)
+        for shard_id in range(partition.num_shards):
+            cell = partition.shard_bounds(shard_id)
+            # Positive extent on both axes (what GridConfig needs to seat a
+            # per-shard index); the *product* may underflow to 0.0 for
+            # subnormal-sized cells, so area > 0 would be the wrong check.
+            assert cell.width > 0.0 and cell.height > 0.0, (
+                f"shard {shard_id} has a degenerate cell"
+            )
+            # The cell is the clipped footprint: centre points route home.
+            assert partition.shard_id_of(cell.center) == shard_id
+
+
+class TestOverlapQueries:
+    @given(partitions(), rectangles(), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_overlap_set_contains_every_interior_owner(self, partition, region, data):
+        overlapping = list(partition.shard_ids_overlapping(region))
+        assert overlapping == sorted(set(overlapping))  # ascending, duplicate-free
+        for _ in range(5):
+            x = data.draw(st.floats(min_value=region.low.x, max_value=region.high.x))
+            y = data.draw(st.floats(min_value=region.low.y, max_value=region.high.y))
+            assert partition.shard_id_of(Point(x, y)) in overlapping
+
+    @given(partitions(), rectangles())
+    @settings(max_examples=200, deadline=None)
+    def test_overlapping_cells_really_intersect_the_region(self, partition, region):
+        clamped = Rectangle(
+            clamp(region.low, partition.bounds), clamp(region.high, partition.bounds)
+        )
+        for shard_id in partition.shard_ids_overlapping(region):
+            cell = partition.shard_bounds(shard_id)
+            assert (
+                cell.low.x <= clamped.high.x
+                and clamped.low.x <= cell.high.x
+                and cell.low.y <= clamped.high.y
+                and clamped.low.y <= cell.high.y
+            ), f"shard {shard_id} cell {cell} does not touch clamped region {clamped}"
+
+    @given(partitions(), rectangles())
+    @settings(max_examples=200, deadline=None)
+    def test_single_shard_fast_path_matches_overlap_set(self, partition, region):
+        single = partition.single_shard_of(region)
+        overlapping = list(partition.shard_ids_overlapping(region))
+        if single is not None:
+            assert overlapping == [single]
+        else:
+            assert partition.num_shards > 1
+
+
+class TestKdDeterminism:
+    @given(st.integers(min_value=0, max_value=2**32 - 1), shard_counts, samples())
+    @settings(max_examples=150, deadline=None)
+    def test_fit_is_independent_of_sample_order(self, seed, count, sample):
+        reference = KdSplitPartition.fit(BOUNDS, count, sample)
+        shuffled = list(sample)
+        random.Random(seed).shuffle(shuffled)
+        assert KdSplitPartition.fit(BOUNDS, count, shuffled).describe() == reference.describe()
+
+    @given(shard_counts, samples())
+    @settings(max_examples=100, deadline=None)
+    def test_fit_produces_the_requested_leaf_count(self, count, sample):
+        partition = KdSplitPartition.fit(BOUNDS, count, sample)
+        assert partition.num_shards == count
+        assert partition.kind == "kd"
+
+    def test_fit_splits_toward_the_density(self):
+        """80% of the mass in the downtown corner: kd cells there must be
+        smaller than the suburban ones, and the sample must spread evenly."""
+        rng = random.Random(7)
+        downtown = [(rng.uniform(0, 250), rng.uniform(0, 250)) for _ in range(800)]
+        suburbs = [(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(200)]
+        partition = KdSplitPartition.fit(BOUNDS, 16, downtown + suburbs)
+        loads = [0] * 16
+        for x, y in downtown + suburbs:
+            loads[partition.shard_id_of(Point(x, y))] += 1
+        assert max(loads) <= 2 * (sum(loads) / len(loads))
+        downtown_cell = partition.shard_bounds(partition.shard_id_of(Point(50.0, 50.0)))
+        suburb_cell = partition.shard_bounds(partition.shard_id_of(Point(900.0, 900.0)))
+        assert downtown_cell.area < suburb_cell.area
+
+    def test_fit_survives_a_point_mass(self):
+        """An unsplittable sample (all points identical) falls back to
+        midpoint splits instead of degenerate cells."""
+        partition = KdSplitPartition.fit(BOUNDS, 8, [(400.0, 400.0)] * 100)
+        assert partition.num_shards == 8
+        for shard_id in range(8):
+            assert partition.shard_bounds(shard_id).area > 0.0
+
+    def test_fit_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            KdSplitPartition.fit(BOUNDS, 0)
+        with pytest.raises(ConfigurationError):
+            KdSplitPartition.fit(Rectangle(Point(0, 0), Point(0, 5)), 4)
+
+
+class TestRings:
+    @given(partitions(), st.integers(min_value=0, max_value=6))
+    @settings(max_examples=150, deadline=None)
+    def test_rings_grow_monotonically_from_self(self, partition, halo):
+        for shard_id in range(partition.num_shards):
+            ring = partition.ring_of(shard_id, halo)
+            assert shard_id in ring
+            assert ring <= set(range(partition.num_shards))
+            if halo == 0:
+                assert ring == {shard_id}
+            else:
+                assert partition.ring_of(shard_id, halo - 1) <= ring
+
+    @given(partitions())
+    @settings(max_examples=100, deadline=None)
+    def test_a_wide_ring_covers_the_fleet(self, partition):
+        ring = partition.ring_of(0, partition.num_shards)
+        assert ring == set(range(partition.num_shards))
+
+
+class TestCreatePartition:
+    def test_kinds_round_trip(self):
+        for kind in PARTITION_KINDS:
+            partition = create_partition(kind, BOUNDS, 6)
+            assert partition.kind == kind
+            assert partition.num_shards == 6
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            create_partition("voronoi", BOUNDS, 4)
+
+    def test_uniform_matches_shard_grid_layout(self):
+        partition = create_partition("uniform", BOUNDS, 4)
+        assert (partition.rows, partition.cols) == shard_layout(4)

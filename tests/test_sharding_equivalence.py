@@ -54,6 +54,8 @@ def make_coordinator(
     window: int = 60,
     backend: str = "serial",
     overlap_halo: int = None,
+    partition: str = "uniform",
+    rebalance_threshold: float = 2.0,
 ) -> Coordinator:
     return Coordinator(
         CoordinatorConfig(
@@ -63,6 +65,8 @@ def make_coordinator(
             num_shards=num_shards,
             backend=backend,
             overlap_halo=overlap_halo,
+            partition=partition,
+            rebalance_threshold=rebalance_threshold,
         )
     )
 
@@ -123,11 +127,50 @@ def synthetic_stream(seed: int, epochs: int = 8, per_epoch: int = 30) -> List[Tu
     return stream
 
 
-def drive(coordinator: Coordinator, stream) -> List[Dict]:
-    """Feed the stream epoch by epoch, snapshotting after every epoch."""
+def skewed_stream(seed: int, epochs: int = 8, per_epoch: int = 30) -> List[Tuple[int, List[ObjectState]]]:
+    """A density-skewed stream: most activity in a downtown hotspot corner.
+
+    The workload the load-adaptive kd partition exists for — a uniform 4x4
+    grid concentrates ~80% of the records on the downtown shards, driving the
+    imbalance statistic well past any rebalance threshold.
+    """
+    rng = random.Random(seed)
+    stream = []
+    for epoch in range(1, epochs + 1):
+        boundary = epoch * 10
+        states = []
+        for _ in range(per_epoch):
+            if rng.random() < 0.8:
+                start = Point(rng.uniform(0.0, 250.0), rng.uniform(0.0, 250.0))
+            else:
+                start = Point(rng.uniform(-50.0, 1050.0), rng.uniform(-50.0, 1050.0))
+            centre = Point(
+                start.x + rng.uniform(-150.0, 150.0),
+                start.y + rng.uniform(-150.0, 150.0),
+            )
+            fsa = Rectangle.from_center(centre, rng.uniform(5.0, 120.0))
+            t_end = boundary - rng.randrange(10)
+            states.append(
+                ObjectState(
+                    rng.randrange(per_epoch * 2), start, max(0, t_end - 5), fsa.low, fsa.high, t_end
+                )
+            )
+        stream.append((boundary, states))
+    return stream
+
+
+def drive(coordinator: Coordinator, stream, rebalance_before: Tuple[int, ...] = ()) -> List[Dict]:
+    """Feed the stream epoch by epoch, snapshotting after every epoch.
+
+    ``rebalance_before`` forces a partition refit-and-migrate at those epoch
+    indices (before the epoch runs) — on top of whatever automatic
+    rebalancing the coordinator's own threshold triggers.
+    """
     trace = []
     try:
-        for boundary, states in stream:
+        for index, (boundary, states) in enumerate(stream):
+            if index in rebalance_before and coordinator.router is not None:
+                coordinator.router.rebalance()
             for state in states:
                 coordinator.submit_state(state)
             outcome = coordinator.run_epoch(boundary)
@@ -198,6 +241,125 @@ class TestStreamDifferential:
         assert stats["total_records"] == coordinator.index_size()
         # The stream spreads over the whole area, so several shards own paths.
         assert stats["max_shard_records"] < stats["total_records"]
+
+
+class TestRebalanceDifferential:
+    """Load-adaptive kd partitions and mid-replay migrations, bit for bit.
+
+    The partition layer decides *where* per-shard state lives, never what
+    the algorithm answers — so a kd fleet with rebalancing enabled (and a
+    fleet forced to migrate mid-replay) must reproduce the seed coordinator
+    exactly, on every backend.  Every scenario asserts rebalances actually
+    happened, so the equivalence claim is never vacuous.
+    """
+
+    @pytest.mark.parametrize("backend", ("serial",) + PARALLEL_BACKENDS)
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_kd_fleet_with_auto_rebalance_matches_seed(self, num_shards, backend):
+        """The skewed downtown stream, a tight threshold (rebalances fire
+        nearly every epoch), 2x2 and 4x4 fleets, all three backends."""
+        stream = skewed_stream(42)
+        seed_trace = drive(make_coordinator(1), stream)
+        kd = make_coordinator(
+            num_shards, backend=backend, partition="kd", rebalance_threshold=1.2
+        )
+        kd_trace = drive(kd, stream)
+        for epoch, (expected, actual) in enumerate(zip(seed_trace, kd_trace)):
+            assert actual == expected, (
+                f"kd/{backend} diverged from the seed at epoch {epoch}"
+            )
+        stats = kd.shard_statistics()
+        assert stats["rebalances"] > 0, "no rebalance fired — vacuous scenario"
+
+    @pytest.mark.parametrize("seed", [11, 42])
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_forced_midreplay_migration_matches_seed(self, num_shards, seed):
+        """Explicit migrations between epochs — including one refitting a
+        uniform fleet onto kd splits mid-stream — change nothing."""
+        stream = synthetic_stream(seed)
+        seed_trace = drive(make_coordinator(1), stream)
+        migrated = make_coordinator(num_shards)  # starts uniform
+        migrated_trace = drive(migrated, stream, rebalance_before=(2, 5))
+        for epoch, (expected, actual) in enumerate(zip(seed_trace, migrated_trace)):
+            assert actual == expected, f"migration diverged at epoch {epoch}"
+        assert migrated.router.rebalances >= 1
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_forced_migration_on_parallel_backends_matches_seed(self, backend):
+        """Process workers must re-bootstrap replicas from the migrated
+        snapshot (journal reset, new load-aware assignment) mid-stream."""
+        stream = skewed_stream(11)
+        seed_trace = drive(make_coordinator(1), stream)
+        migrated = make_coordinator(16, backend=backend, partition="kd")
+        migrated_trace = drive(migrated, stream, rebalance_before=(1, 3, 6))
+        for epoch, (expected, actual) in enumerate(zip(seed_trace, migrated_trace)):
+            assert actual == expected, (
+                f"{backend} migration diverged at epoch {epoch}"
+            )
+        assert migrated.router.rebalances >= 3
+
+    def test_kd_rebalancing_actually_balances_the_skew(self):
+        """The point of the whole layer: on the downtown workload the kd
+        fleet ends far better balanced than the uniform grid, at identical
+        answers."""
+        stream = skewed_stream(42)
+        uniform = make_coordinator(16)
+        kd = make_coordinator(16, partition="kd", rebalance_threshold=1.2)
+        uniform_trace = drive(uniform, stream)
+        kd_trace = drive(kd, stream)
+        assert kd_trace == uniform_trace
+        uniform_stats = uniform.shard_statistics()
+        kd_stats = kd.shard_statistics()
+        assert uniform_stats["total_records"] == kd_stats["total_records"]
+        assert kd_stats["imbalance"] < uniform_stats["imbalance"] / 2
+
+    def test_corridor_report_survives_migrations(self):
+        """The boundary ledger is *recomputed* at migration, and the corridor
+        stitch welds against it — so the corridor report after every epoch
+        (with migrations forced between epochs) must equal the seed's global
+        stitch, not just the path-level snapshot."""
+        stream = skewed_stream(21)
+        seed = make_coordinator(1)
+        kd = make_coordinator(16, partition="kd", rebalance_threshold=1.2)
+        try:
+            for index, (boundary, states) in enumerate(stream):
+                if index in (2, 5):
+                    kd.router.rebalance()
+                for state in states:
+                    seed.submit_state(state)
+                    kd.submit_state(state)
+                seed.run_epoch(boundary)
+                kd.run_epoch(boundary)
+                assert [corridor.path_ids for corridor in kd.hot_corridors()] == [
+                    corridor.path_ids for corridor in seed.hot_corridors()
+                ], f"corridor report diverged at epoch {index}"
+            assert kd.router.rebalances >= 2
+        finally:
+            seed.close()
+            kd.close()
+
+    def test_kd_is_deterministic_across_runs_and_backends(self):
+        """Adaptive rebalancing must stay reproducible: identical traces and
+        identical final partitions on every run and backend."""
+        stream = skewed_stream(7)
+
+        def run(backend):
+            coordinator = make_coordinator(
+                16, backend=backend, partition="kd", rebalance_threshold=1.2
+            )
+            trace = drive(coordinator, stream)
+            return trace, coordinator.router.grid.describe()
+
+        reference_trace, reference_partition = run("serial")
+        again_trace, again_partition = run("serial")
+        assert again_trace == reference_trace
+        assert again_partition == reference_partition
+        for backend in PARALLEL_BACKENDS:
+            parallel_trace, parallel_partition = run(backend)
+            assert parallel_trace == reference_trace, f"kd diverged on {backend}"
+            assert parallel_partition == reference_partition, (
+                f"partition fit diverged on {backend}"
+            )
 
 
 def trace_deviation(expected, actual):
