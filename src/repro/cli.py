@@ -20,6 +20,7 @@ additionally writes machine-readable CSV files.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -35,10 +36,21 @@ from repro.experiments.figure7 import run_figure7
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import run_figure9, run_figure10
 from repro.experiments.report import ablation_rows_to_csv, write_experiment_bundle, write_sweep_csv
+from repro.core.geometry import Point, Rectangle
+from repro.coordinator.coordinator import Coordinator, CoordinatorConfig
 from repro.coordinator.execution import BACKEND_NAMES
 from repro.coordinator.partition import PARTITION_KINDS
 from repro.coordinator.stitching import STITCHING_MODES, select_top_k_corridors
 from repro.network.generator import NetworkConfig
+from repro.serving.scenarios import (
+    FAULT_TYPES,
+    SCENARIOS,
+    InjectionConfig,
+    ScenarioRunner,
+    get_scenario,
+    replay_accepted_log,
+)
+from repro.serving.server import IngestionServer, ServingConfig
 from repro.simulation.engine import HotPathSimulation, SimulationConfig
 
 __all__ = ["build_parser", "main"]
@@ -164,6 +176,105 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=42)
     run_parser.add_argument("--network-nodes", type=int, default=10, help="grid nodes per axis")
     run_parser.add_argument("--area", type=float, default=4000.0, help="area side length in metres")
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve the coordinator over TCP, or run a load/chaos scenario against it",
+        description=(
+            "Start the asyncio ingestion front end: a TCP server speaking the "
+            "newline-delimited JSON protocol of repro.serving.protocol, batching "
+            "location updates from concurrent clients into coordinator epochs with "
+            "bounded-queue backpressure. With --scenario the server is instead "
+            "booted on an ephemeral port and driven by the named load scenario "
+            "(optionally with seed-deterministic fault injection via --chaos); the "
+            "exit status reports the scenario's latency/throughput validation gate "
+            "and the bit-for-bit equivalence check against a seed-coordinator "
+            "replay of the accepted updates."
+        ),
+        epilog=(
+            "examples:\n"
+            "  python -m repro serve --port 7711 --shards 4 --backend processes\n"
+            "  python -m repro serve --epoch-seconds 0.5   # wall-clock epochs\n"
+            "  python -m repro serve --list-scenarios\n"
+            "  python -m repro serve --scenario uniform_trickle --shards 4\n"
+            "  python -m repro serve --scenario bursty_downtown --partition kd \\\n"
+            "      --chaos kill_worker --backend processes --chaos-seed 7"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=7711,
+        help="TCP port (0 = ephemeral; scenario runs always use an ephemeral port)",
+    )
+    serve_parser.add_argument("--window", type=int, default=100, help="sliding window W in timestamps")
+    serve_parser.add_argument("--cells", type=int, default=64, help="grid cells per axis")
+    serve_parser.add_argument("--area", type=float, default=1000.0, help="monitored area side length")
+    serve_parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="shard fleet size behind the front door (1 = the paper's central coordinator)",
+    )
+    serve_parser.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="serial",
+        help="epoch execution backend of the served fleet (see 'repro run --help')",
+    )
+    serve_parser.add_argument(
+        "--partition", choices=PARTITION_KINDS, default="uniform",
+        help="spatial partition of the served fleet (see 'repro run --help')",
+    )
+    serve_parser.add_argument(
+        "--rebalance-threshold", type=float, default=2.0, metavar="R",
+        help="kd rebalance trigger: max/mean shard-load ratio (must exceed 1.0)",
+    )
+    serve_parser.add_argument(
+        "--max-pending", type=int, default=100_000, metavar="N",
+        help="bounded batcher queue: updates admitted before backpressure rejects batches",
+    )
+    serve_parser.add_argument(
+        "--epoch-seconds", type=float, default=None, metavar="S",
+        help=(
+            "enable the wall-clock epoch ticker: commit an epoch every S seconds, "
+            "advancing the coordinator clock by --epoch timestamps. Omit to drive "
+            "epochs with explicit 'tick' requests (deterministic mode)."
+        ),
+    )
+    serve_parser.add_argument(
+        "--epoch", type=int, default=10, metavar="T",
+        help="timestamps per epoch boundary (tick spacing of scenario runs and the auto ticker)",
+    )
+    serve_parser.add_argument(
+        "--list-scenarios", action="store_true",
+        help="print the registered load scenarios and exit",
+    )
+    serve_parser.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="run this registered scenario against an in-process server and exit",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=42, help="scenario traffic seed",
+    )
+    serve_parser.add_argument(
+        "--load-factor", type=float, default=1.0, metavar="F",
+        help="scale every scenario batch size by F (load knob for measurement runs)",
+    )
+    serve_parser.add_argument(
+        "--concurrent", action="store_true",
+        help="race client sends within each epoch instead of the deterministic serialized order",
+    )
+    serve_parser.add_argument(
+        "--chaos", choices=FAULT_TYPES, default=None, metavar="FAULT",
+        help=(
+            "inject this fault class during the scenario (drop_batch, duplicate_batch, "
+            "reorder_batch, kill_worker, force_rebalance, stall_epoch), scheduled "
+            "deterministically from --chaos-seed"
+        ),
+    )
+    serve_parser.add_argument(
+        "--chaos-rate", type=float, default=0.25, help="fault injection probability",
+    )
+    serve_parser.add_argument(
+        "--chaos-seed", type=int, default=0, help="fault schedule seed",
+    )
 
     for name, description in (
         ("figure7", "regenerate the Figure 7 sweep (vary the number of objects)"),
@@ -332,8 +443,123 @@ def _command_ablations(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    if args.list_scenarios:
+        print("registered load scenarios:")
+        for name in sorted(SCENARIOS):
+            scenario = SCENARIOS[name]()
+            print(f"  {name:<18s} clients={scenario.num_clients:<3d} epochs={scenario.epochs:<3d} {scenario.description}")
+        return 0
+
+    if args.scenario is not None:
+        scenario = get_scenario(args.scenario, load_factor=args.load_factor)
+        injection = InjectionConfig(
+            enabled=args.chaos is not None,
+            fault=args.chaos,
+            rate=args.chaos_rate,
+            seed=args.chaos_seed,
+        )
+        runner = ScenarioRunner(
+            num_shards=args.shards,
+            backend=args.backend,
+            partition=args.partition,
+            window=args.window,
+            cells_per_axis=args.cells,
+            epoch_length=args.epoch,
+            rebalance_threshold=args.rebalance_threshold,
+            max_pending_updates=args.max_pending,
+            bounds=Rectangle(Point(0.0, 0.0), Point(args.area, args.area)),
+        )
+        result = runner.run(
+            scenario, seed=args.seed, injection=injection, concurrent=args.concurrent
+        )
+        seed_snapshot = replay_accepted_log(
+            result.accepted_log,
+            bounds=runner.bounds,
+            window=runner.window,
+            cells_per_axis=runner.cells_per_axis,
+        )
+        equal = result.report == seed_snapshot
+        print(
+            f"scenario {scenario.scenario_id}: shards={args.shards} backend={args.backend} "
+            f"partition={args.partition}"
+            + (f" chaos={args.chaos} rate={args.chaos_rate} seed={args.chaos_seed}" if args.chaos else "")
+        )
+        print(
+            f"  traffic: {result.submitted_updates} submitted, {result.accepted_updates} accepted, "
+            f"{result.dropped_updates} dropped, {result.epochs_run} epochs"
+        )
+        print(
+            f"  faults: drops={result.dropped_batches} dups={result.duplicated_batches} "
+            f"reorders={result.reordered_swaps} kills={result.worker_kills} "
+            f"rebalances={result.forced_rebalances} stalls={result.stalled_epochs} "
+            f"backpressure={result.backpressure_rejections} retried={result.retried_batches}"
+        )
+        print(
+            f"  latency: ack p50={result.ack_latency_p50_ms:.2f} ms p99={result.ack_latency_p99_ms:.2f} ms; "
+            f"ingest p50={result.server_stats.get('p50_ms', 0.0):.2f} ms "
+            f"p99={result.server_stats.get('p99_ms', 0.0):.2f} ms; "
+            f"throughput={result.updates_per_sec:.0f} updates/s"
+        )
+        print(f"  seed-replay equivalence: {'bit-for-bit EQUAL' if equal else 'DIVERGED'}")
+        if result.validation_errors:
+            for error in result.validation_errors:
+                print(f"  validation FAILED: {error}")
+        else:
+            print("  validation passed")
+        return 0 if (equal and result.passed) else 1
+
+    coordinator = Coordinator(
+        CoordinatorConfig(
+            bounds=Rectangle(Point(0.0, 0.0), Point(args.area, args.area)),
+            window=args.window,
+            cells_per_axis=args.cells,
+            num_shards=args.shards,
+            backend=args.backend,
+            partition=args.partition,
+            rebalance_threshold=args.rebalance_threshold,
+        )
+    )
+    server = IngestionServer(
+        coordinator,
+        ServingConfig(
+            host=args.host,
+            port=args.port,
+            max_pending_updates=args.max_pending,
+            auto_epoch_seconds=args.epoch_seconds,
+            auto_epoch_timestamps=args.epoch,
+        ),
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        ticking = (
+            f"auto epochs every {args.epoch_seconds}s"
+            if args.epoch_seconds is not None
+            else "explicit 'tick' epochs"
+        )
+        print(
+            f"serving on {args.host}:{server.port} "
+            f"(shards={args.shards}, backend={args.backend}, partition={args.partition}, {ticking})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        coordinator.close()
+    return 0
+
+
 _COMMANDS = {
     "run": _command_run,
+    "serve": _command_serve,
     "figure7": _command_figure7,
     "figure8": _command_figure8,
     "figure9": _command_figure9,

@@ -528,6 +528,9 @@ class ProcessBackend(ExecutionBackend):
         self._journal_seqs: List[int] = []
         self._assignment: Dict[int, int] = {}
         self._decision_pool = ThreadBackend(workers)
+        #: Workers respawned after dying (killed, crashed, or restarted
+        #: explicitly) — excludes ordinary spawns and rebalance respawns.
+        self.worker_restarts = 0
 
     # -- worker lifecycle -------------------------------------------------------
 
@@ -641,6 +644,128 @@ class ProcessBackend(ExecutionBackend):
     def _worker_of(self, shard_id: int) -> int:
         return self._assignment[shard_id]
 
+    # -- worker fault handling --------------------------------------------------
+
+    @property
+    def worker_count(self) -> int:
+        """Number of spawned worker processes (0 before the first epoch)."""
+        return len(self._processes)
+
+    def workers_alive(self) -> List[bool]:
+        """Liveness of each spawned worker, by worker index."""
+        return [process.is_alive() for process in self._processes]
+
+    def worker_for_shard(self, shard_id: int) -> Optional[int]:
+        """The worker replicating ``shard_id`` (``None`` before spawn)."""
+        return self._assignment.get(shard_id)
+
+    def kill_worker(self, worker: int) -> None:
+        """Fault-injection hook: hard-kill one worker process, no cleanup.
+
+        Leaves the dead process in the fleet exactly as a crash would — the
+        next pipeline round trip detects it and respawns (or call
+        :meth:`restart_worker` to respawn eagerly).
+        """
+        if not 0 <= worker < len(self._processes):
+            raise ConfigurationError(
+                f"no worker {worker}; fleet has {len(self._processes)} workers"
+            )
+        self._processes[worker].terminate()
+        self._processes[worker].join(timeout=5)
+
+    def restart_worker(self, router, shard_id: int) -> int:
+        """Respawn the worker replicating ``shard_id``; returns its index.
+
+        The explicit recovery path callable from *outside*
+        :meth:`on_rebalance` — the prerequisite for kill-worker fault
+        injection.  The replacement worker bootstraps from a snapshot of the
+        live router state for its assigned shards (the same journal-replay
+        ``apply`` machinery a fresh spawn uses — a snapshot is exactly the
+        journal with its dead prefix compacted away) and resumes consuming
+        the journal from the current position.  Spawns the whole fleet first
+        when no workers are up; safe between pipeline stages because the
+        candidate and stitch passes are read-only.
+        """
+        self._ensure_workers(router)
+        worker = self._assignment.get(shard_id)
+        if worker is None:
+            raise ConfigurationError(
+                f"no shard {shard_id}; fleet replicates shards "
+                f"{sorted(self._assignment)}"
+            )
+        self._respawn_worker(worker, router)
+        return worker
+
+    def _worker_payload(self, worker: int, router) -> Tuple[list, list]:
+        """Shard configs and snapshot ops for one worker's assigned shards.
+
+        Mirrors the bootstrap in :meth:`_ensure_workers`: snapshot ops are
+        drawn from ``router.owners`` in insertion order, which is also the
+        order a continuously journal-fed replica ends up holding survivors
+        in — so a respawned replica answers identically.
+        """
+        shard_configs = []
+        for shard in router.shards:
+            if self._assignment[shard.shard_id] != worker:
+                continue
+            shard_configs.append(
+                (
+                    shard.shard_id,
+                    (
+                        shard.index.config.bounds.low.x,
+                        shard.index.config.bounds.low.y,
+                        shard.index.config.bounds.high.x,
+                        shard.index.config.bounds.high.y,
+                    ),
+                    shard.index.config.cells_per_axis,
+                )
+            )
+        snapshot_ops = []
+        for path_id, shard in router.owners.items():
+            if self._assignment[shard.shard_id] != worker:
+                continue
+            record = shard.index.get(path_id)
+            snapshot_ops.append(
+                (
+                    "i",
+                    path_id,
+                    shard.shard_id,
+                    record.path.start.x,
+                    record.path.start.y,
+                    record.path.end.x,
+                    record.path.end.y,
+                    record.created_at,
+                )
+            )
+        return shard_configs, snapshot_ops
+
+    def _respawn_worker(self, worker: int, router) -> None:
+        """Replace one worker with a fresh process snapshotted from live state."""
+        process = self._processes[worker]
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=5)
+        try:
+            self._connections[worker].close()
+        except OSError:  # pragma: no cover - defensive cleanup
+            pass
+        shard_configs, snapshot_ops = self._worker_payload(worker, router)
+        context = self._spawn_context()
+        parent_conn, child_conn = context.Pipe()
+        replacement = context.Process(
+            target=_process_worker_main,
+            args=(child_conn, shard_configs, snapshot_ops),
+            daemon=True,
+        )
+        replacement.start()
+        child_conn.close()
+        self._processes[worker] = replacement
+        self._connections[worker] = parent_conn
+        # The snapshot already reflects every journaled mutation, so the new
+        # replica resumes from the journal's current tail.
+        self._journal_seqs[worker] = len(router.journal)
+        self.worker_restarts += 1
+
     @staticmethod
     def _op_shard(op) -> int:
         """The shard a journal op belongs to (position varies by op tag)."""
@@ -687,16 +812,28 @@ class ProcessBackend(ExecutionBackend):
         # One round trip per worker per epoch: every worker receives its
         # slice of the journal suffix it is missing (keeping all replicas
         # fresh even on idle epochs) together with its shard buckets and
-        # overlap pools.
-        for worker, connection in enumerate(self._connections):
-            ops = [
-                op
-                for op in journal[self._journal_seqs[worker] : journal_length]
-                if self._assignment[self._op_shard(op)] == worker
-            ]
-            connection.send(
-                ("work", ops, tasks_per_worker[worker], overlap_tasks_per_worker[worker])
-            )
+        # overlap pools.  A dead worker (killed, crashed) is respawned from
+        # a live-state snapshot first — the snapshot subsumes its journal
+        # slice, so the replacement is sent an empty one.
+        for worker in range(len(self._connections)):
+            if not self._processes[worker].is_alive():
+                self._respawn_worker(worker, router)
+                ops = []
+            else:
+                ops = [
+                    op
+                    for op in journal[self._journal_seqs[worker] : journal_length]
+                    if self._assignment[self._op_shard(op)] == worker
+                ]
+            try:
+                self._connections[worker].send(
+                    ("work", ops, tasks_per_worker[worker], overlap_tasks_per_worker[worker])
+                )
+            except (BrokenPipeError, OSError):
+                self._respawn_worker(worker, router)
+                self._connections[worker].send(
+                    ("work", [], tasks_per_worker[worker], overlap_tasks_per_worker[worker])
+                )
             self._journal_seqs[worker] = journal_length
         # Every replica has now replayed its slice of the journal prefix, and
         # freshly spawned workers bootstrap from a snapshot instead of
@@ -707,8 +844,19 @@ class ProcessBackend(ExecutionBackend):
         per_state: List[Optional[List[CandidatePath]]] = [None] * len(states)
         structures: List[Optional[FsaOverlapStructure]] = [None] * len(overlap_pools)
         index, hotness = router.index, router.hotness
-        for connection in self._connections:
-            answers, overlap_answers = connection.recv()
+        for worker in range(len(self._connections)):
+            try:
+                answers, overlap_answers = self._connections[worker].recv()
+            except (EOFError, OSError):
+                # The worker died after accepting the work message.  The
+                # candidate pass is read-only and pre-commit, so a respawn
+                # from the live snapshot can safely re-answer the same tasks
+                # (its snapshot subsumes the journal slice already sent).
+                self._respawn_worker(worker, router)
+                self._connections[worker].send(
+                    ("work", [], tasks_per_worker[worker], overlap_tasks_per_worker[worker])
+                )
+                answers, overlap_answers = self._connections[worker].recv()
             for position, path_ids in answers:
                 per_state[position] = [
                     CandidatePath(index.get(path_id), hotness.hotness(path_id) + 1)
@@ -734,11 +882,24 @@ class ProcessBackend(ExecutionBackend):
         tasks_per_worker: List[list] = [[] for _ in range(worker_count)]
         for shard_id, fragments in tasks.items():
             tasks_per_worker[self._worker_of(shard_id)].append(fragments)
-        for connection, worker_tasks in zip(self._connections, tasks_per_worker):
-            connection.send(("stitch", worker_tasks))
+        for worker in range(worker_count):
+            if not self._processes[worker].is_alive():
+                self._respawn_worker(worker, router)
+            try:
+                self._connections[worker].send(("stitch", tasks_per_worker[worker]))
+            except (BrokenPipeError, OSError):
+                self._respawn_worker(worker, router)
+                self._connections[worker].send(("stitch", tasks_per_worker[worker]))
         runs: List[List[int]] = []
-        for connection in self._connections:
-            runs.extend(connection.recv())
+        for worker in range(worker_count):
+            try:
+                runs.extend(self._connections[worker].recv())
+            except (EOFError, OSError):
+                # Stitch tasks are self-contained and read-only: respawn and
+                # re-ask the same question.
+                self._respawn_worker(worker, router)
+                self._connections[worker].send(("stitch", tasks_per_worker[worker]))
+                runs.extend(self._connections[worker].recv())
         return runs
 
     def _shutdown_workers(self) -> None:

@@ -191,8 +191,11 @@ def weld_runs(fragments: Sequence[StitchFragment]) -> List[List[int]]:
     raw pairs is the wire format the process backend ships back to the
     parent (serialized corridor chains); the merge pass re-derives the pairs
     and chains runs from different shards together.  A cycle closed entirely
-    by this task's welds is broken at its smallest path id, exactly as the
-    global chaining would break it.
+    by this task's welds is serialized with its head repeated at the end
+    (``[a, b, a]``), so the closing weld survives the run format — a cycle
+    whose welds straddle two tasks already keeps every weld because each
+    task reports its own half.  The merge re-breaks the rebuilt cycle at its
+    smallest member id, exactly as the global chaining would.
     """
     ends_at: Dict[Tuple[float, float], List[int]] = {}
     starts_at: Dict[Tuple[float, float], List[int]] = {}
@@ -211,7 +214,16 @@ def weld_runs(fragments: Sequence[StitchFragment]) -> List[List[int]]:
             successor[predecessor_id] = successor_id
     welded = set(successor)
     welded.update(successor.values())
-    return [run for run in chain_fragments(welded, successor) if len(run) >= 2]
+    runs: List[List[int]] = []
+    for run in chain_fragments(welded, successor):
+        if len(run) < 2:
+            continue
+        if successor.get(run[-1]) == run[0]:
+            # chain_fragments broke a task-internal weld cycle; re-append the
+            # head so the closing weld is encoded by the final pair.
+            run = run + [run[0]]
+        runs.append(run)
+    return runs
 
 
 def successors_from_runs(runs: Iterable[Sequence[int]]) -> Dict[int, int]:

@@ -1,0 +1,65 @@
+"""Served front door for the hot-path coordinator.
+
+The paper describes a client/coordinator *protocol*; this package is the
+deployment of it — an asyncio TCP front end accepting location-update
+batches from many concurrent clients, an epoch batcher with bounded queues
+and backpressure feeding :meth:`Coordinator.run_epoch`, wire encode/decode
+for updates and corridor/top-k responses, and a scenario-based load +
+deterministic chaos harness that proves the served fleet bit-for-bit equal
+to a seed coordinator replaying the same accepted updates.
+
+Layout:
+
+* :mod:`repro.serving.protocol` — newline-delimited JSON wire format and
+  the canonical report snapshot used by the equivalence contract;
+* :mod:`repro.serving.batcher` — :class:`EpochBatcher`: dedupe,
+  backpressure, canonical epoch ordering and the accepted-update log;
+* :mod:`repro.serving.server` — :class:`IngestionServer`, the asyncio TCP
+  endpoint;
+* :mod:`repro.serving.scenarios` — :class:`BaseScenario` registry,
+  :class:`InjectionConfig` fault injection and the :class:`ScenarioRunner`.
+"""
+
+from repro.serving.batcher import BatchDecision, EpochBatcher
+from repro.serving.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    coordinator_snapshot,
+    decode_message,
+    decode_update,
+    encode_message,
+    encode_update,
+)
+from repro.serving.scenarios import (
+    FAULT_TYPES,
+    SCENARIOS,
+    BaseScenario,
+    InjectionConfig,
+    ScenarioResult,
+    ScenarioRunner,
+    get_scenario,
+    replay_accepted_log,
+)
+from repro.serving.server import IngestionServer, ServingConfig
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "coordinator_snapshot",
+    "decode_message",
+    "decode_update",
+    "encode_message",
+    "encode_update",
+    "BatchDecision",
+    "EpochBatcher",
+    "IngestionServer",
+    "ServingConfig",
+    "FAULT_TYPES",
+    "SCENARIOS",
+    "BaseScenario",
+    "InjectionConfig",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "get_scenario",
+    "replay_accepted_log",
+]

@@ -1,0 +1,199 @@
+"""Epoch batcher: dedupe, backpressure and canonical ordering for serving.
+
+The coordinator's epoch pipeline is deterministic in *submission order* —
+the same states submitted in the same order produce bit-for-bit the same
+state.  A served front door breaks that for free: many concurrent clients
+race their batches onto the socket, so arrival order is an accident of the
+network.  :class:`EpochBatcher` restores determinism with three rules:
+
+1. **Dedupe** — a batch is identified by ``(client_id, seq)``; redelivering
+   an already-accepted batch (client retry after a lost ack, duplicated
+   frame) is acknowledged idempotently and submitted exactly once.
+2. **Backpressure** — the pending-update queue is bounded
+   (``max_pending_updates``); a batch that would overflow it is *rejected
+   whole* — never truncated, never silently dropped — and the client
+   retries after the next epoch commit drains the queue.
+3. **Canonical epoch order** — at the epoch boundary, the epoch's accepted
+   batches are sorted by ``(client_id, seq)`` (stable, so intra-batch
+   update order is preserved) before submission.  Any arrival interleaving
+   of the same accepted batches therefore produces the same submission
+   order, the property the hypothesis suite pins and the reason a served
+   fleet under concurrent load stays bit-for-bit equal to a seed
+   coordinator replaying the accepted log.
+
+The batcher also keeps that **accepted log** — per epoch, the boundary
+timestamp and the canonically-ordered update rows — which is the serving
+equivalence contract's replay input, and per-update ingest latency samples
+(arrival to epoch commit) for the benchmark table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import ConfigurationError, CoordinatorError
+from repro.client.state import ObjectState
+from repro.serving.protocol import encode_update
+
+__all__ = ["BatchDecision", "EpochBatcher", "canonical_order"]
+
+
+#: One pending batch: (client_id, seq, arrival_time, states).
+PendingBatch = Tuple[int, int, float, Tuple[ObjectState, ...]]
+
+
+@dataclass(frozen=True)
+class BatchDecision:
+    """Outcome of offering one batch to the batcher."""
+
+    accepted: bool
+    count: int = 0
+    duplicate: bool = False
+    reason: Optional[str] = None
+
+    def as_payload(self) -> Dict[str, Any]:
+        """The response fields the server merges into its ack."""
+        payload: Dict[str, Any] = {"ok": self.accepted, "accepted": self.count}
+        if self.duplicate:
+            payload["duplicate"] = True
+        if self.reason is not None:
+            payload["error"] = self.reason
+        return payload
+
+
+def canonical_order(batches: Sequence[PendingBatch]) -> List[ObjectState]:
+    """Flatten an epoch's batches into canonical submission order.
+
+    Sorted by ``(client_id, seq)`` — a batch is one client's atomic unit, so
+    no two pending batches share the key — with each batch's internal update
+    order preserved.  This is a pure function of the *set* of accepted
+    batches: every arrival interleaving maps to the same output.
+    """
+    ordered: List[ObjectState] = []
+    for _client, _seq, _arrival, states in sorted(
+        batches, key=lambda batch: (batch[0], batch[1])
+    ):
+        ordered.extend(states)
+    return ordered
+
+
+class EpochBatcher:
+    """Groups accepted client batches into :meth:`Coordinator.run_epoch` calls."""
+
+    def __init__(
+        self,
+        coordinator,
+        max_pending_updates: int = 100_000,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if max_pending_updates < 1:
+            raise ConfigurationError(
+                f"max_pending_updates must be at least 1, got {max_pending_updates}"
+            )
+        self.coordinator = coordinator
+        self.max_pending_updates = max_pending_updates
+        self._clock = clock
+        self._pending: List[PendingBatch] = []
+        self._pending_updates = 0
+        self._accepted_seqs: Dict[int, Set[int]] = {}
+        self._last_now: Optional[int] = None
+        #: Per epoch: ``(now, [9-field update rows in submission order])`` —
+        #: the replay input of the serving equivalence contract.
+        self.accepted_log: List[Tuple[int, List[List[Any]]]] = []
+        #: Arrival→commit latency samples, seconds, one per accepted update.
+        self.ingest_latencies: List[float] = []
+        self.accepted_batches = 0
+        self.duplicate_batches = 0
+        self.rejected_batches = 0
+        self.accepted_updates = 0
+        self.epochs_committed = 0
+
+    # -- intake -----------------------------------------------------------------
+
+    @property
+    def pending_updates(self) -> int:
+        return self._pending_updates
+
+    def offer(self, client_id: int, seq: int, states: Sequence[ObjectState]) -> BatchDecision:
+        """Admit one client batch, or reject it whole under backpressure.
+
+        Dedupe precedes the capacity check: a retry of an already-accepted
+        batch is acknowledged even when the queue is full, so a client whose
+        ack was lost cannot get wedged behind backpressure.
+        """
+        seen = self._accepted_seqs.setdefault(client_id, set())
+        if seq in seen:
+            self.duplicate_batches += 1
+            return BatchDecision(accepted=True, count=0, duplicate=True)
+        if self._pending_updates + len(states) > self.max_pending_updates:
+            self.rejected_batches += 1
+            return BatchDecision(accepted=False, reason="backpressure")
+        seen.add(seq)
+        self._pending.append((client_id, seq, self._clock(), tuple(states)))
+        self._pending_updates += len(states)
+        self.accepted_batches += 1
+        self.accepted_updates += len(states)
+        return BatchDecision(accepted=True, count=len(states))
+
+    # -- epoch boundary ---------------------------------------------------------
+
+    def close_epoch(self, now: int):
+        """Commit the pending batches as one epoch at boundary ``now``.
+
+        Returns the :class:`~repro.coordinator.coordinator.EpochOutcome`.
+        Boundaries must be strictly increasing — the hotness event queue
+        advances monotonically — so a stale tick is a protocol violation,
+        not a silent no-op.
+        """
+        if self._last_now is not None and now <= self._last_now:
+            raise CoordinatorError(
+                f"epoch boundary {now} is not after the previous boundary {self._last_now}"
+            )
+        batches, self._pending = self._pending, []
+        self._pending_updates = 0
+        arrival_of: Dict[int, float] = {}
+        ordered = canonical_order(batches)
+        position = 0
+        for _client, _seq, arrival, states in sorted(
+            batches, key=lambda batch: (batch[0], batch[1])
+        ):
+            for _ in states:
+                arrival_of[position] = arrival
+                position += 1
+        for state in ordered:
+            self.coordinator.submit_state(state)
+        outcome = self.coordinator.run_epoch(now)
+        committed = self._clock()
+        self.ingest_latencies.extend(
+            committed - arrival_of[position] for position in range(len(ordered))
+        )
+        self.accepted_log.append((now, [encode_update(state) for state in ordered]))
+        self._last_now = now
+        self.epochs_committed += 1
+        return outcome
+
+    # -- reporting --------------------------------------------------------------
+
+    def latency_quantiles(self) -> Dict[str, float]:
+        """p50/p99 ingest latency in milliseconds (zeros before any commit)."""
+        if not self.ingest_latencies:
+            return {"p50_ms": 0.0, "p99_ms": 0.0}
+        samples = sorted(self.ingest_latencies)
+        def quantile(fraction: float) -> float:
+            index = min(len(samples) - 1, int(fraction * len(samples)))
+            return samples[index] * 1000.0
+        return {"p50_ms": quantile(0.50), "p99_ms": quantile(0.99)}
+
+    def stats(self) -> Dict[str, Any]:
+        counters = {
+            "accepted_batches": self.accepted_batches,
+            "duplicate_batches": self.duplicate_batches,
+            "rejected_batches": self.rejected_batches,
+            "accepted_updates": self.accepted_updates,
+            "pending_updates": self._pending_updates,
+            "epochs": self.epochs_committed,
+        }
+        counters.update(self.latency_quantiles())
+        return counters

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.errors import ConfigurationError
 from repro.cli import build_parser, main
 
 
@@ -247,3 +248,51 @@ class TestFigureCommands:
         assert (tmp_path / "ablation_communication.csv").exists()
         assert (tmp_path / "ablation_uncertainty.csv").exists()
         assert (tmp_path / "ablation_grid_resolution.csv").exists()
+
+
+class TestServeCommand:
+    def test_list_scenarios(self, capsys):
+        exit_code = main(["serve", "--list-scenarios"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        for scenario_id in ("uniform_trickle", "bursty_downtown", "ramp", "thundering_herd"):
+            assert scenario_id in captured
+
+    def test_scenario_run_gates_on_equivalence_and_validation(self, capsys):
+        exit_code = main(
+            ["serve", "--scenario", "uniform_trickle", "--seed", "3", "--shards", "2"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "seed-replay equivalence: bit-for-bit EQUAL" in captured
+        assert "validation passed" in captured
+
+    def test_chaos_flags_reach_the_runner(self, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--scenario",
+                "uniform_trickle",
+                "--seed",
+                "3",
+                "--shards",
+                "4",
+                "--partition",
+                "kd",
+                "--chaos",
+                "force_rebalance",
+                "--chaos-rate",
+                "0.9",
+                "--chaos-seed",
+                "5",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "chaos=force_rebalance" in captured
+        assert "rebalances=" in captured
+        assert "bit-for-bit EQUAL" in captured
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            main(["serve", "--scenario", "no_such_traffic"])

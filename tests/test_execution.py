@@ -407,3 +407,115 @@ class TestLoadAwareAssignment:
             per_worker[worker] = per_worker.get(worker, 0) + loads[shard_id]
         # Old modulo split would put 150 on one worker; LPT caps near max load.
         assert max(per_worker.values()) <= 81
+
+
+class TestWorkerFaultRecovery:
+    """Kill-and-restart of process workers must be answer-invariant.
+
+    ``restart_worker`` is the explicit recovery path (callable from outside
+    ``on_rebalance`` — the kill-worker fault injection depends on it); the
+    pipeline's dead-worker detection is the implicit one.  Both respawn from
+    a live-state snapshot and must stay bit-for-bit equal to serial.
+    """
+
+    @staticmethod
+    def make(backend_name: str) -> Coordinator:
+        return Coordinator(
+            CoordinatorConfig(bounds=BOUNDS, window=40, num_shards=4, backend=backend_name)
+        )
+
+    @staticmethod
+    def drive_with_fault(coordinator: Coordinator, stream, fault) -> List[dict]:
+        """Like :func:`drive`, but calls ``fault(coordinator, index)`` before
+        each epoch's submissions."""
+        trace = []
+        try:
+            for index, (boundary, states) in enumerate(stream):
+                fault(coordinator, index)
+                for state in states:
+                    coordinator.submit_state(state)
+                outcome = coordinator.run_epoch(boundary)
+                trace.append(
+                    {
+                        "responses": outcome.responses,
+                        "records": sorted(
+                            (r.path_id, r.path.start.as_tuple(), r.path.end.as_tuple())
+                            for r in coordinator.index.records
+                        ),
+                        "hotness": sorted(coordinator.hotness.items()),
+                        "top_k": coordinator.top_k(10),
+                    }
+                )
+        finally:
+            coordinator.close()
+        return trace
+
+    def test_explicit_restart_after_kill_is_exact(self):
+        """The regression this satellite exists for: ``restart_worker`` used
+        to be reachable only through ``on_rebalance``; killed workers now
+        recover eagerly between epochs without perturbing any answer."""
+        stream = boundary_stream(seed=23, epochs=6)
+        expected = self.drive_with_fault(self.make("serial"), stream, lambda c, i: None)
+
+        def kill_then_restart(coordinator: Coordinator, index: int) -> None:
+            if index not in (2, 4):
+                return
+            backend = coordinator.router.pipeline.backend
+            shard_id = index % len(coordinator.router.shards)
+            worker = backend.worker_for_shard(shard_id)
+            backend.kill_worker(worker)
+            assert not backend.workers_alive()[worker]
+            assert backend.restart_worker(coordinator.router, shard_id) == worker
+            assert backend.workers_alive()[worker]
+
+        coordinator = self.make("processes")
+        backend = coordinator.router.pipeline.backend
+        actual = self.drive_with_fault(coordinator, stream, kill_then_restart)
+        assert backend.worker_restarts == 2
+        assert actual == expected
+
+    def test_dead_worker_is_detected_and_respawned_mid_pipeline(self):
+        """A worker that dies *without* an explicit restart: the next pipeline
+        round trip must detect the corpse, respawn from snapshot and retry —
+        still bit-for-bit equal to serial."""
+        stream = boundary_stream(seed=23, epochs=6)
+        expected = self.drive_with_fault(self.make("serial"), stream, lambda c, i: None)
+
+        def kill_only(coordinator: Coordinator, index: int) -> None:
+            if index == 3:
+                coordinator.router.pipeline.backend.kill_worker(0)
+
+        coordinator = self.make("processes")
+        backend = coordinator.router.pipeline.backend
+        actual = self.drive_with_fault(coordinator, stream, kill_only)
+        assert backend.worker_restarts >= 1
+        assert actual == expected
+
+    def test_restart_worker_spawns_the_fleet_when_cold(self):
+        """Before the first epoch there is no fleet; restart_worker must
+        bring one up rather than index into an empty pool."""
+        coordinator = self.make("processes")
+        try:
+            backend = coordinator.router.pipeline.backend
+            assert backend.worker_count == 0
+            worker = backend.restart_worker(coordinator.router, shard_id=0)
+            assert backend.worker_count > 0
+            assert backend.workers_alive()[worker]
+        finally:
+            coordinator.close()
+
+    def test_fault_hooks_validate_their_targets(self):
+        coordinator = self.make("processes")
+        try:
+            backend = coordinator.router.pipeline.backend
+            assert backend.worker_for_shard(0) is None  # fleet not spawned yet
+            with pytest.raises(ConfigurationError):
+                backend.kill_worker(0)
+            coordinator.submit_state(boundary_stream(seed=1, epochs=1)[0][1][0])
+            coordinator.run_epoch(10)
+            with pytest.raises(ConfigurationError):
+                backend.kill_worker(backend.worker_count)
+            with pytest.raises(ConfigurationError):
+                backend.restart_worker(coordinator.router, shard_id=999)
+        finally:
+            coordinator.close()

@@ -1,0 +1,136 @@
+"""Served-vs-direct equivalence: the front door must not change answers.
+
+The contract: a scenario driven through the TCP front door — real sockets,
+concurrent clients, backpressure, reconnects — must leave the coordinator
+bit-for-bit equal to a *seed* coordinator (single shard, serial backend,
+the paper's architecture) replaying the same accepted updates at the same
+epoch boundaries.  And the accepted log must replay identically through
+every fleet shape, including fleets forced through kd rebalances mid-replay.
+
+This is the serving layer's version of ``test_sharding_equivalence.py``:
+the network, the batcher and the epoch ticker are all new machinery that
+could silently reorder, drop or duplicate updates; snapshot equality over
+the wire is the proof they do not.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serving.scenarios import (
+    SCENARIOS,
+    InjectionConfig,
+    ScenarioRunner,
+    get_scenario,
+    replay_accepted_log,
+)
+
+BACKENDS = ["serial", "threads", "processes"]
+PARTITIONS = ["uniform", "kd"]
+
+
+def seed_replay(result):
+    """The reference snapshot: the seed shape replaying the accepted log."""
+    return replay_accepted_log(result.accepted_log)
+
+
+class TestServedMatchesSeedReplay:
+    """Every backend × partition fleet serves the seed coordinator's answers."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("partition", PARTITIONS)
+    def test_uniform_trickle_bit_for_bit(self, backend, partition):
+        runner = ScenarioRunner(num_shards=4, backend=backend, partition=partition)
+        result = runner.run("uniform_trickle", seed=11)
+
+        assert result.accepted_updates == result.submitted_updates
+        assert result.report == seed_replay(result)
+
+    @pytest.mark.parametrize("scenario_id", sorted(SCENARIOS))
+    def test_every_scenario_on_a_kd_fleet(self, scenario_id):
+        runner = ScenarioRunner(num_shards=4, backend="threads", partition="kd")
+        result = runner.run(scenario_id, seed=5)
+
+        assert result.accepted_updates == result.submitted_updates
+        assert result.report == seed_replay(result)
+        assert result.passed, result.validation_errors
+
+    def test_snapshot_reports_real_state(self):
+        result = ScenarioRunner(num_shards=1).run("uniform_trickle", seed=2)
+
+        report = result.report
+        assert report["size"] == len(report["records"]) > 0
+        assert report["top_k_hotness"]
+        # The snapshot is wire-pure: a JSON round trip is the identity.
+        assert json.loads(json.dumps(report)) == report
+
+
+class TestForcedRebalanceInvariance:
+    """kd migrations mid-run and mid-replay must be invisible in the answers."""
+
+    def test_forced_mid_run_rebalances_leave_answers_unchanged(self):
+        runner = ScenarioRunner(num_shards=4, backend="threads", partition="kd")
+        injection = InjectionConfig(
+            enabled=True, fault="force_rebalance", rate=0.6, seed=9
+        )
+        result = runner.run("bursty_downtown", seed=7, injection=injection)
+
+        assert result.forced_rebalances >= 1
+        assert result.report == seed_replay(result)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_replay_through_rebalancing_fleets_matches_seed(self, backend):
+        result = ScenarioRunner(num_shards=4, backend="serial", partition="kd").run(
+            "bursty_downtown", seed=3
+        )
+        reference = seed_replay(result)
+
+        fleet = replay_accepted_log(
+            result.accepted_log,
+            num_shards=4,
+            backend=backend,
+            partition="kd",
+            rebalance_before=(1, 3),
+        )
+        assert fleet == reference
+        assert result.report == reference
+
+
+class TestConcurrentClients:
+    """Racing clients must not perturb the committed state."""
+
+    @pytest.mark.parametrize("backend", ["serial", "processes"])
+    def test_concurrent_sends_replay_bit_for_bit(self, backend):
+        runner = ScenarioRunner(num_shards=4, backend=backend, partition="kd")
+        result = runner.run("bursty_downtown", seed=13, concurrent=True)
+
+        assert result.accepted_updates == result.submitted_updates
+        assert result.report == seed_replay(result)
+
+    def test_concurrent_run_equals_serialized_run(self):
+        """Same scenario seed, racing vs. ordered sends: same committed state.
+
+        The batcher's canonical ``(client, seq)`` epoch ordering makes the
+        commit independent of the arrival interleaving — so the two modes
+        must agree on everything but timing.
+        """
+        runner = ScenarioRunner(num_shards=2, backend="threads", partition="uniform")
+        ordered = runner.run("uniform_trickle", seed=21, concurrent=False)
+        racing = runner.run("uniform_trickle", seed=21, concurrent=True)
+
+        assert racing.accepted_log == ordered.accepted_log
+        assert racing.report == ordered.report
+
+
+class TestReconnectStorm:
+    def test_thundering_herd_reconnects_and_stays_equal(self):
+        scenario = get_scenario("thundering_herd")
+        result = ScenarioRunner(num_shards=4, backend="threads", partition="kd").run(
+            scenario, seed=17
+        )
+
+        assert result.reconnects == scenario.num_clients
+        assert result.accepted_updates == result.submitted_updates
+        assert result.report == seed_replay(result)
