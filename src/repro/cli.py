@@ -38,6 +38,7 @@ from repro.experiments.figure9 import run_figure9, run_figure10
 from repro.experiments.report import ablation_rows_to_csv, write_experiment_bundle, write_sweep_csv
 from repro.core.geometry import Point, Rectangle
 from repro.coordinator.coordinator import Coordinator, CoordinatorConfig
+from repro.coordinator.delta import EPOCH_MODES
 from repro.coordinator.execution import BACKEND_NAMES
 from repro.coordinator.partition import PARTITION_KINDS
 from repro.coordinator.stitching import STITCHING_MODES, select_top_k_corridors
@@ -173,6 +174,17 @@ def build_parser() -> argparse.ArgumentParser:
             "stitch."
         ),
     )
+    run_parser.add_argument(
+        "--epoch-mode", choices=EPOCH_MODES, default="delta",
+        help=(
+            "epoch pipeline: 'delta' (default) makes epoch cost proportional to "
+            "what changed — unchanged halo overlap pools are reused across epochs, "
+            "corridor chains are maintained incrementally, and only dirtied pools "
+            "are shipped to process workers; 'full' rebuilds everything per epoch "
+            "(the pre-incremental pipeline). Both modes are bit-for-bit identical "
+            "on every result."
+        ),
+    )
     run_parser.add_argument("--seed", type=int, default=42)
     run_parser.add_argument("--network-nodes", type=int, default=10, help="grid nodes per axis")
     run_parser.add_argument("--area", type=float, default=4000.0, help="area side length in metres")
@@ -225,6 +237,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--rebalance-threshold", type=float, default=2.0, metavar="R",
         help="kd rebalance trigger: max/mean shard-load ratio (must exceed 1.0)",
+    )
+    serve_parser.add_argument(
+        "--epoch-mode", choices=EPOCH_MODES, default="delta",
+        help="epoch pipeline of the served coordinator (see 'repro run --help')",
     )
     serve_parser.add_argument(
         "--max-pending", type=int, default=100_000, metavar="N",
@@ -314,6 +330,7 @@ def _command_run(args: argparse.Namespace) -> int:
         stitching=args.stitching,
         partition=args.partition,
         rebalance_threshold=args.rebalance_threshold,
+        epoch_mode=args.epoch_mode,
         seed=args.seed,
         network_config=NetworkConfig(area_size=args.area, grid_nodes_per_axis=args.network_nodes),
     )
@@ -467,6 +484,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             cells_per_axis=args.cells,
             epoch_length=args.epoch,
             rebalance_threshold=args.rebalance_threshold,
+            epoch_mode=args.epoch_mode,
             max_pending_updates=args.max_pending,
             bounds=Rectangle(Point(0.0, 0.0), Point(args.area, args.area)),
         )
@@ -518,6 +536,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             backend=args.backend,
             partition=args.partition,
             rebalance_threshold=args.rebalance_threshold,
+            epoch_mode=args.epoch_mode,
         )
     )
     server = IngestionServer(

@@ -22,6 +22,7 @@ from repro.core.geometry import Rectangle
 from repro.core.motion_path import MotionPathRecord
 from repro.core.scoring import ScoredPath, select_top_k, top_k_score
 from repro.client.state import CoordinatorResponse, ObjectState
+from repro.coordinator.delta import EPOCH_MODES, EpochDelta
 from repro.coordinator.execution import BACKEND_NAMES
 from repro.coordinator.grid_index import GridConfig, GridIndex
 from repro.coordinator.hotness import HotnessTracker
@@ -30,6 +31,7 @@ from repro.coordinator.single_path import SinglePathStrategy
 from repro.coordinator.stitching import (
     STITCHING_MODES,
     CompositeCorridor,
+    IncrementalStitcher,
     select_top_k_corridors,
     stitch_paths,
 )
@@ -80,6 +82,18 @@ class CoordinatorConfig:
     caches it until the next epoch — epochs that nobody asks corridors of
     never pay for stitching.  A single-shard coordinator has no boundaries,
     so both modes produce the full global stitch.
+
+    ``epoch_mode`` selects the incremental epoch pipeline
+    (:mod:`repro.coordinator.delta`): ``delta`` (the default) makes per-epoch
+    cost proportional to what changed — unchanged halo overlap pools are
+    reused across epochs, corridor chains are maintained incrementally under
+    insert/expire/weld events, only dirtied pools are shipped to
+    process-backend workers, and every :class:`EpochOutcome` carries the
+    epoch's :class:`~repro.coordinator.delta.EpochDelta`; ``full`` rebuilds
+    everything each epoch (the pre-incremental pipeline).  The two modes are
+    required to be bit-for-bit equal on every observable — responses, index,
+    hotness, overlap answers, corridor report — which the differential
+    harnesses enforce per epoch.
     """
 
     bounds: Rectangle
@@ -91,6 +105,7 @@ class CoordinatorConfig:
     stitching: str = "exact"
     partition: str = "uniform"
     rebalance_threshold: float = 2.0
+    epoch_mode: str = "delta"
 
     def __post_init__(self) -> None:
         if self.window <= 0:
@@ -118,6 +133,10 @@ class CoordinatorConfig:
             raise ConfigurationError(
                 f"stitching must be one of {', '.join(STITCHING_MODES)}, got {self.stitching!r}"
             )
+        if self.epoch_mode not in EPOCH_MODES:
+            raise ConfigurationError(
+                f"epoch_mode must be one of {', '.join(EPOCH_MODES)}, got {self.epoch_mode!r}"
+            )
 
 
 @dataclass
@@ -134,6 +153,10 @@ class EpochOutcome:
     #: (kd partitions only; never changes any other field of the outcome).
     rebalanced: bool = False
     processing_seconds: float = 0.0
+    #: The epoch's first-class change record (``epoch_mode="delta"`` only;
+    #: ``None`` in full mode).  Purely observational — no pipeline stage's
+    #: correctness depends on it.
+    delta: Optional[EpochDelta] = None
 
 
 class Coordinator:
@@ -146,6 +169,11 @@ class Coordinator:
             self.index = GridIndex(GridConfig(config.bounds, config.cells_per_axis))
             self.hotness = HotnessTracker(config.window)
             self.strategy = SinglePathStrategy(self.index, self.hotness)
+            if config.epoch_mode == "delta":
+                self.hotness.enable_delta_log()
+                self._stitcher: Optional[IncrementalStitcher] = IncrementalStitcher()
+            else:
+                self._stitcher = None
         else:
             # The router views expose the exact GridIndex / HotnessTracker /
             # SinglePathStrategy interfaces, so the epoch loop below is the
@@ -160,10 +188,12 @@ class Coordinator:
                 stitching=config.stitching,
                 partition=config.partition,
                 rebalance_threshold=config.rebalance_threshold,
+                epoch_mode=config.epoch_mode,
             )
             self.index = self.router.index
             self.hotness = self.router.hotness
             self.strategy = self.router.pipeline
+            self._stitcher = None  # the router owns the incremental stitcher
         self._pending_states: List[ObjectState] = []
         self._corridor_cache: Optional[List[CompositeCorridor]] = None
         # Rebalance count the cached corridor report was computed at: a
@@ -209,9 +239,11 @@ class Coordinator:
         self._corridor_cache = None
 
         expired = self.hotness.advance_time(now)
+        deleted: List[int] = []
         for path_id in expired:
             if path_id in self.index:
                 self.index.delete(path_id)
+                deleted.append(path_id)
         outcome.paths_expired = len(expired)
 
         states, self._pending_states = self._pending_states, []
@@ -227,10 +259,58 @@ class Coordinator:
         if self.router is not None:
             outcome.rebalanced = self.router.maybe_rebalance()
 
+        if self.config.epoch_mode == "delta":
+            outcome.delta = self._assemble_delta(
+                now, deleted, epoch_result, outcome.rebalanced
+            )
+
         outcome.processing_seconds = time.perf_counter() - started
         self._epochs_processed += 1
         self._total_processing_seconds += outcome.processing_seconds
         return outcome
+
+    def _assemble_delta(
+        self,
+        now: int,
+        deleted: List[int],
+        epoch_result,
+        rebalanced: bool,
+    ) -> EpochDelta:
+        """Fold the epoch's change record into a first-class :class:`EpochDelta`.
+
+        Inserted ids come from the decisions (already renumbered to the
+        serial allocation on parallel backends, so the tuple is
+        backend-independent); hotness transitions are drained from the
+        trackers' delta logs, with the merged categories sorted ascending —
+        the deterministic encoding of the underlying event sets.
+        """
+        log = self.hotness.drain_delta_log()
+        inserted = tuple(
+            decision.path_id
+            for decision in epoch_result.decisions
+            if not decision.reused_existing_path
+        )
+        if self.router is not None:
+            pool_stats = self.router.last_pool_stats
+            renumbered = self.router.last_renumbered
+        else:
+            pool_stats = ShardRouter.zero_pool_stats()
+            renumbered = 0
+        return EpochDelta(
+            timestamp=now,
+            inserted=inserted,
+            deleted=tuple(sorted(deleted)),
+            newly_hot=tuple(sorted(log.newly_hot)),
+            touched=tuple(sorted(log.touched)),
+            decayed=tuple(sorted(log.decayed)),
+            vanished=tuple(sorted(log.vanished)),
+            renumbered=renumbered,
+            pools_total=pool_stats["pools_total"],
+            pools_reused=pool_stats["pools_reused"],
+            pools_prefix_reused=pool_stats["pools_prefix_reused"],
+            pools_rebuilt=pool_stats["pools_rebuilt"],
+            rebalanced=rebalanced,
+        )
 
     # -- queries ---------------------------------------------------------------------
 
@@ -243,7 +323,7 @@ class Coordinator:
         if self.router is not None:
             return self.router.shard_statistics()
         size = float(len(self.index))
-        return {
+        statistics = {
             "num_shards": 1,
             "total_records": size,
             "max_shard_records": size,
@@ -252,7 +332,26 @@ class Coordinator:
             "imbalance": 1.0,
             "straddling_paths": 0,
             "rebalances": 0,
+            # Delta-pipeline counters, mirroring the sharded schema.  A
+            # single-shard coordinator has no halo pools, so the pool
+            # counters stay zero; the stitcher counters are live in delta
+            # mode (the corridor report is maintained incrementally there
+            # too).
+            "pools_total": 0,
+            "pools_reused": 0,
+            "pools_prefix_reused": 0,
+            "pools_rebuilt": 0,
+            "chains_rewelded": 0,
+            "chains_reused": 0,
+            "fragments_added": 0,
+            "fragments_removed": 0,
+            "expiry_coalesced": 0,
+            "corridors_patched": 0,
+            "corridors_reused": 0,
         }
+        if self._stitcher is not None:
+            statistics.update(self._stitcher.totals)
+        return statistics
 
     def hot_paths(self) -> List[Tuple[MotionPathRecord, int]]:
         """All stored paths with non-zero hotness, as ``(record, hotness)`` pairs."""
@@ -288,6 +387,19 @@ class Coordinator:
         if self._corridor_cache is None or self._corridor_cache_rebalances != rebalances:
             if self.router is not None:
                 self._corridor_cache = self.router.stitch_epoch()
+            elif self._stitcher is not None:
+                # Single-shard delta mode: same incremental maintenance as
+                # the sharded delta path, with one constant owner (no
+                # boundaries, so exact == off and boundary welds are zero).
+                current = {
+                    path_id: (self.index.get(path_id).path, hotness)
+                    for path_id, hotness in self.hotness.items()
+                    if path_id in self.index
+                }
+                self._stitcher.sync(current)
+                self._corridor_cache, _stats = self._stitcher.report(
+                    "exact", lambda path_id: 0
+                )
             else:
                 self._corridor_cache = stitch_paths(self.hot_paths())
             self._corridor_cache_rebalances = rebalances

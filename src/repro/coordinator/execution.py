@@ -24,6 +24,28 @@ per-shard fragment tasks onto the pool via ``map_stitch_buckets`` (process
 workers receive self-contained fragment tuples — no replica or journal
 involvement — and return serialized corridor chains).
 
+**Delta shipping.**  Under the default ``delta`` epoch mode the pipeline
+ships workers *deltas*, not full epoch state, through the very same backend
+API — no backend needs delta awareness:
+
+* *Overlap pools.*  The router's cross-epoch
+  :class:`~repro.coordinator.overlaps.OverlapPoolCache` resolves each epoch's
+  halo pools first, and only the cache-missed (dirtied) pools reach
+  ``map_candidate_buckets``.  Process replicas therefore stop receiving full
+  per-epoch pool shipments: an unchanged pool is reused parent-side and
+  never crosses the pipe again.  Pool identity is content-addressed
+  (fingerprint of the member ``(object_id, FSA)`` tuples in pool order), so
+  reuse survives kd rebalances and worker respawns untouched.
+* *Weld passes.*  Delta mode never calls ``map_stitch_buckets`` at all: the
+  router's :class:`~repro.coordinator.stitching.IncrementalStitcher`
+  maintains weld chains under insert/expire events and answers corridor
+  queries parent-side, patching only the chains the epoch's membership delta
+  touched.  The ``full`` mode path below (and its process-worker ``stitch``
+  message) remains the reference implementation the delta answers are pinned
+  against bit for bit.
+* *Index mutations.*  These were already delta-shipped: the mutation journal
+  sends each replica only the insert/delete/renumber ops it is missing.
+
 **Conflict groups.**  The decision stage of Algorithm 2 is sequential: within
 an epoch, later objects observe the paths and crossings earlier objects
 produced.  :func:`conflict_groups` partitions the epoch's states so that this
@@ -227,8 +249,10 @@ class ExecutionBackend(ABC):
     ``map_candidate_buckets`` runs the read-only stage-2 worker pass: the
     per-shard Case 1 candidate scans *and* the shard-local FSA overlap
     structure builds (one per distinct halo pool of the epoch's overlap
-    plan); ``map_decision_groups`` replays the decision stage over conflict
-    groups.  Backends with ``parallel_decisions = False`` never receive the
+    plan — under ``delta`` epoch mode the pipeline pre-filters this argument
+    to the cache-missed pools only, so backends always build exactly what
+    they are handed); ``map_decision_groups`` replays the decision stage
+    over conflict groups.  Backends with ``parallel_decisions = False`` never receive the
     latter call — the pipeline replays global submission order inline.
     ``needs_journal`` tells the router whether to record its mutation journal
     (only the process backend consumes it).

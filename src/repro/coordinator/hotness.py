@@ -17,7 +17,45 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.errors import ConfigurationError, CoordinatorError
 
-__all__ = ["HotnessTracker"]
+__all__ = ["HotnessDeltaLog", "HotnessTracker"]
+
+
+class HotnessDeltaLog:
+    """Per-epoch event log of one tracker's hotness transitions.
+
+    Feeds :class:`repro.coordinator.delta.EpochDelta`: each crossing lands in
+    ``newly_hot`` (hotness ``0 -> 1``) or ``touched`` (``n -> n+1``), each
+    expiry in ``decayed`` (counter survived) or ``vanished`` (dropped to
+    zero).  Crossings may be recorded under provisional path ids during a
+    parallel commit; :meth:`rename` re-keys them alongside the tracker's
+    counters, so a drained log always speaks final ids.  Migration adoption
+    (:meth:`HotnessTracker.adopt_count` / ``adopt_event``) is deliberately
+    not logged — a rebalance moves counters between shards without changing
+    any path's global hotness.
+    """
+
+    __slots__ = ("newly_hot", "touched", "decayed", "vanished")
+
+    def __init__(self) -> None:
+        self.newly_hot: List[int] = []
+        self.touched: List[int] = []
+        self.decayed: List[int] = []
+        self.vanished: List[int] = []
+
+    def rename(self, mapping: Dict[int, int]) -> None:
+        """Re-key provisional path ids after a parallel-commit renumbering."""
+        if not mapping:
+            return
+        for events in (self.newly_hot, self.touched, self.decayed, self.vanished):
+            for position, path_id in enumerate(events):
+                events[position] = mapping.get(path_id, path_id)
+
+    def merge_from(self, other: "HotnessDeltaLog") -> None:
+        """Append another tracker's events (the sharded fleet's union)."""
+        self.newly_hot.extend(other.newly_hot)
+        self.touched.extend(other.touched)
+        self.decayed.extend(other.decayed)
+        self.vanished.extend(other.vanished)
 
 
 class HotnessTracker:
@@ -30,6 +68,22 @@ class HotnessTracker:
         self._hotness: Dict[int, int] = {}
         self._events: List[Tuple[int, int]] = []  # (expiry_time, path_id) min-heap
         self._deferred: Optional[List[Tuple[int, int]]] = None
+        self._delta_log: Optional[HotnessDeltaLog] = None
+
+    # -- delta logging (epoch_mode="delta") ----------------------------------------
+
+    def enable_delta_log(self) -> None:
+        """Start logging hotness transitions for per-epoch delta assembly."""
+        if self._delta_log is None:
+            self._delta_log = HotnessDeltaLog()
+
+    def drain_delta_log(self) -> HotnessDeltaLog:
+        """Return the events logged since the last drain and start a fresh log."""
+        if self._delta_log is None:
+            raise CoordinatorError("hotness delta log was never enabled")
+        drained = self._delta_log
+        self._delta_log = HotnessDeltaLog()
+        return drained
 
     # -- recording --------------------------------------------------------------
 
@@ -40,6 +94,11 @@ class HotnessTracker:
         """
         new_hotness = self._hotness.get(path_id, 0) + 1
         self._hotness[path_id] = new_hotness
+        if self._delta_log is not None:
+            if new_hotness == 1:
+                self._delta_log.newly_hot.append(path_id)
+            else:
+                self._delta_log.touched.append(path_id)
         if self._deferred is not None:
             self._deferred.append((t_end + self.window, path_id))
         else:
@@ -66,8 +125,12 @@ class HotnessTracker:
             if current <= 1:
                 del self._hotness[path_id]
                 vanished.append(path_id)
+                if self._delta_log is not None:
+                    self._delta_log.vanished.append(path_id)
             else:
                 self._hotness[path_id] = current - 1
+                if self._delta_log is not None:
+                    self._delta_log.decayed.append(path_id)
         return vanished
 
     # -- deferred recording (parallel epoch commits) ------------------------------
@@ -96,6 +159,8 @@ class HotnessTracker:
         """
         deferred = self._deferred if self._deferred is not None else []
         self._deferred = None
+        if self._delta_log is not None:
+            self._delta_log.rename(mapping)
         for old_id, new_id in mapping.items():
             if old_id in self._hotness:
                 self._hotness[new_id] = self._hotness.pop(old_id)

@@ -31,6 +31,7 @@ Queries used by SinglePath:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -42,6 +43,7 @@ __all__ = [
     "FsaOverlapStructure",
     "SerializedRegion",
     "DerivedRegionCache",
+    "OverlapPoolCache",
     "build_structures",
 ]
 
@@ -294,6 +296,135 @@ class FsaOverlapStructure:
         if region is None:
             return None
         return (region.rectangle.center, region.count)
+
+
+#: Content address of one halo pool: its ``(object_id, FSA coordinates)``
+#: entries *in pool order*.  Region insertion order feeds the structure's
+#: area tie-breaks, so only an order-identical pool may share a structure.
+PoolFingerprint = Tuple[Tuple[int, float, float, float, float], ...]
+
+
+def pool_fingerprint(pool: Mapping[int, Rectangle]) -> PoolFingerprint:
+    """The content address of a halo pool (see :class:`OverlapPoolCache`)."""
+    return tuple(
+        (object_id, fsa.low.x, fsa.low.y, fsa.high.x, fsa.high.y)
+        for object_id, fsa in pool.items()
+    )
+
+
+class OverlapPoolCache:
+    """Cross-epoch, content-addressed cache of built halo-pool structures.
+
+    :func:`build_structures` already shares work *within* one epoch's pools;
+    under low churn the far bigger redundancy is *across* epochs — most
+    shards' halo pools repeat verbatim from one epoch to the next, and the
+    rest usually extend a previous pool by a few late arrivals.  The delta
+    pipeline (``epoch_mode="delta"``) resolves every pool here first and
+    ships only the misses to the execution backend's workers.
+
+    Three outcomes per pool, every one bit-identical to a from-scratch build:
+
+    * **reused** — the fingerprint matches a cached pool exactly; the cached
+      structure is returned as-is (structures are read-only to the decision
+      stage, exactly like the verbatim-repeat sharing inside
+      :func:`build_structures`).
+    * **prefix_reused** — a cached pool is an order-preserving *prefix* of
+      this one; the tail is built parent-side resuming from the cached
+      structure's snapshot (:meth:`FsaOverlapStructure.build` with ``base``),
+      the same shared-prefix construction the intra-epoch builder uses.
+    * **rebuilt** — no usable entry; the pool is built from scratch (on the
+      backend) and stored for future epochs.
+
+    Keying on content rather than shard ids means kd rebalances need no
+    invalidation: a migrated shard whose halo pool happens to match any pool
+    ever built still hits.  The cache is LRU-bounded (``capacity`` pools) so
+    long replays with high churn cannot grow it without bound.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"pool cache capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._table: "OrderedDict[PoolFingerprint, FsaOverlapStructure]" = OrderedDict()
+        # Lifetime totals, surfaced by ``shard_statistics()``.
+        self.reused = 0
+        self.prefix_reused = 0
+        self.rebuilt = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def resolve(
+        self, pools: Sequence[Mapping[int, Rectangle]], max_regions: int = 10000
+    ) -> Tuple[List[Optional[FsaOverlapStructure]], List[int], Dict[str, int]]:
+        """Serve what the cache can; report the rest as misses.
+
+        Returns ``(structures, miss_indexes, stats)`` where ``structures``
+        holds a ready structure per pool except at the ``miss_indexes``
+        (``None`` there — the caller builds those, on workers, and hands them
+        back via :meth:`store`).  ``stats`` is the per-call outcome tally
+        feeding :class:`repro.coordinator.delta.EpochDelta`.
+        """
+        structures: List[Optional[FsaOverlapStructure]] = [None] * len(pools)
+        miss_indexes: List[int] = []
+        stats = {
+            "pools_total": len(pools),
+            "pools_reused": 0,
+            "pools_prefix_reused": 0,
+            "pools_rebuilt": 0,
+        }
+        for index, pool in enumerate(pools):
+            fingerprint = pool_fingerprint(pool)
+            cached = self._table.get(fingerprint)
+            if cached is not None:
+                self._table.move_to_end(fingerprint)
+                structures[index] = cached
+                stats["pools_reused"] += 1
+                self.reused += 1
+                continue
+            resumed = self._resume_from_prefix(fingerprint, pool, max_regions)
+            if resumed is not None:
+                self._insert(fingerprint, resumed)
+                structures[index] = resumed
+                stats["pools_prefix_reused"] += 1
+                self.prefix_reused += 1
+                continue
+            miss_indexes.append(index)
+            stats["pools_rebuilt"] += 1
+            self.rebuilt += 1
+        return structures, miss_indexes, stats
+
+    def _resume_from_prefix(
+        self,
+        fingerprint: PoolFingerprint,
+        pool: Mapping[int, Rectangle],
+        max_regions: int,
+    ) -> Optional[FsaOverlapStructure]:
+        """Build from the longest cached proper prefix, or ``None`` without one."""
+        for cut in range(len(fingerprint) - 1, 0, -1):
+            base = self._table.get(fingerprint[:cut])
+            if base is None:
+                continue
+            tail = {
+                entry[0]: pool[entry[0]] for entry in fingerprint[cut:]
+            }
+            return FsaOverlapStructure.build(tail, max_regions, base=base)
+        return None
+
+    def store(
+        self,
+        pools: Sequence[Mapping[int, Rectangle]],
+        structures: Sequence[FsaOverlapStructure],
+    ) -> None:
+        """Remember this epoch's built structures for future epochs."""
+        for pool, structure in zip(pools, structures):
+            self._insert(pool_fingerprint(pool), structure)
+
+    def _insert(self, fingerprint: PoolFingerprint, structure: FsaOverlapStructure) -> None:
+        self._table[fingerprint] = structure
+        self._table.move_to_end(fingerprint)
+        while len(self._table) > self._capacity:
+            self._table.popitem(last=False)
 
 
 def _pools_are_consistent(pools: Sequence[Mapping[int, Rectangle]]) -> bool:

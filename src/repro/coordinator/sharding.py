@@ -148,9 +148,10 @@ from repro.coordinator.execution import (
     conflict_groups,
     create_backend,
 )
+from repro.coordinator.delta import EPOCH_MODES
 from repro.coordinator.grid_index import GridConfig, GridIndex
-from repro.coordinator.hotness import HotnessTracker
-from repro.coordinator.overlaps import FsaOverlapStructure
+from repro.coordinator.hotness import HotnessDeltaLog, HotnessTracker
+from repro.coordinator.overlaps import FsaOverlapStructure, OverlapPoolCache
 from repro.coordinator.partition import (
     PARTITION_KINDS,
     KdSplitPartition,
@@ -162,6 +163,7 @@ from repro.coordinator.partition import (
 from repro.coordinator.stitching import (
     STITCHING_MODES,
     CompositeCorridor,
+    IncrementalStitcher,
     StitchFragment,
     build_corridors,
     chain_fragments,
@@ -464,6 +466,19 @@ class ShardedHotnessTracker:
     def total_crossings(self) -> int:
         return sum(shard.hotness.total_crossings() for shard in self._router.shards)
 
+    def drain_delta_log(self) -> HotnessDeltaLog:
+        """Union of the per-shard delta logs since the last drain.
+
+        Per-shard logs are chronological for that shard (a shard's crossings
+        all come from one conflict group, replayed in submission order); the
+        delta assembler sorts the merged categories, so the cross-shard
+        interleaving here carries no information.
+        """
+        merged = HotnessDeltaLog()
+        for shard in self._router.shards:
+            merged.merge_from(shard.hotness.drain_delta_log())
+        return merged
+
 
 class ShardedSinglePath:
     """Batched SinglePath epoch pipeline over the shard fleet.
@@ -485,10 +500,14 @@ class ShardedSinglePath:
         self.backend.close()
 
     def process_epoch(self, states: Sequence[ObjectState]) -> SinglePathEpochResult:
+        router = self._router
+        # Per-epoch delta diagnostics reset up front so an empty epoch (or a
+        # serial commit) never reports the previous epoch's numbers.
+        router.last_renumbered = 0
+        router.last_pool_stats = ShardRouter.zero_pool_stats()
         result = SinglePathEpochResult()
         if not states:
             return result
-        router = self._router
 
         # Stage 1: group the batch by owning shard — one dict operation per
         # message — collect the FSAs for the epoch's overlap structures and
@@ -517,9 +536,28 @@ class ShardedSinglePath:
         # rebuilt in submission order afterwards: when one object reports
         # twice in an epoch the single-shard strategy keeps the later state's
         # candidates, and bucket order must not change which one wins.
-        per_state, structures = self.backend.map_candidate_buckets(
-            router, buckets, states, plan.pools
-        )
+        if router.pool_cache is not None:
+            # Delta mode: resolve every pool against the cross-epoch cache
+            # first and ship only the *misses* to the backend — under low
+            # churn most pools repeat verbatim, so process replicas receive
+            # a handful of dirtied pools instead of the full epoch shipment.
+            # Bit-identical to the full build: exact hits reuse a structure
+            # built from identical ordered content, prefix hits resume the
+            # same shared-prefix construction ``build_structures`` uses.
+            structures, miss_indexes, pool_stats = router.pool_cache.resolve(
+                plan.pools
+            )
+            per_state, built = self.backend.map_candidate_buckets(
+                router, buckets, states, [plan.pools[index] for index in miss_indexes]
+            )
+            for slot, structure in zip(miss_indexes, built):
+                structures[slot] = structure
+            router.pool_cache.store(plan.pools, structures)
+            router.last_pool_stats = pool_stats
+        else:
+            per_state, structures = self.backend.map_candidate_buckets(
+                router, buckets, states, plan.pools
+            )
         candidate_paths: Dict[int, List[CandidatePath]] = {}
         for position, state in enumerate(states):
             candidate_paths[state.object_id] = per_state[position]
@@ -580,6 +618,7 @@ class ShardedSinglePath:
                     decisions[position] = decision
         finally:
             id_mapping = router.finish_parallel_commit()
+        router.last_renumbered = len(id_mapping)
         for decision in decisions:
             final_id = id_mapping.get(decision.path_id)
             if final_id is not None:
@@ -608,6 +647,7 @@ class ShardRouter:
         stitching: str = "exact",
         partition: Union[str, Partition] = "uniform",
         rebalance_threshold: float = 2.0,
+        epoch_mode: str = "delta",
     ) -> None:
         if isinstance(partition, Partition):
             if partition.num_shards != num_shards:
@@ -652,6 +692,30 @@ class ShardRouter:
             raise ConfigurationError(
                 f"stitching must be one of {', '.join(STITCHING_MODES)}, got {stitching!r}"
             )
+        if epoch_mode not in EPOCH_MODES:
+            raise ConfigurationError(
+                f"epoch_mode must be one of {', '.join(EPOCH_MODES)}, got {epoch_mode!r}"
+            )
+        #: ``delta`` (default) makes epoch cost proportional to what changed:
+        #: halo pools are reused across epochs through :attr:`pool_cache`,
+        #: the corridor report is maintained incrementally by the
+        #: :class:`~repro.coordinator.stitching.IncrementalStitcher`, and
+        #: per-shard hotness trackers log their transitions for the epoch's
+        #: :class:`~repro.coordinator.delta.EpochDelta`.  ``full`` rebuilds
+        #: everything per epoch — the differential reference the delta mode
+        #: must match bit for bit.
+        self.epoch_mode = epoch_mode
+        self.pool_cache: Optional[OverlapPoolCache] = (
+            OverlapPoolCache() if epoch_mode == "delta" else None
+        )
+        self._stitcher: Optional[IncrementalStitcher] = (
+            IncrementalStitcher() if epoch_mode == "delta" else None
+        )
+        #: Pool-cache outcome of the most recent epoch (zeros outside delta
+        #: mode and on empty epochs).
+        self.last_pool_stats: Dict[str, int] = self.zero_pool_stats()
+        #: Provisional ids renumbered by the most recent epoch's commit.
+        self.last_renumbered = 0
         #: Halo of the shard-local overlap structures: ``None`` = adaptive
         #: exact halo (bit-for-bit with the global build), ``h`` = fixed ring
         #: of ``h`` neighbouring shards (see :func:`plan_shard_overlaps`).
@@ -698,6 +762,9 @@ class ShardRouter:
                     strategy=None,  # bound below, once the router views exist
                 )
             )
+        if epoch_mode == "delta":
+            for shard in self.shards:
+                shard.hotness.enable_delta_log()
         self.index = ShardedGridIndex(self)
         self.hotness = ShardedHotnessTracker(self, window)
         if isinstance(backend, str):
@@ -1000,6 +1067,26 @@ class ShardRouter:
             raise ConfigurationError(
                 f"stitching mode must be one of {', '.join(STITCHING_MODES)}, got {mode!r}"
             )
+        if self._stitcher is not None:
+            # Delta mode: diff the current hot set into the incremental
+            # stitcher (the same O(hot) gather the full path pays below) and
+            # let it re-weld only the touched chains — no backend round trip
+            # ships fragment tasks, untouched corridors are served from the
+            # per-chain cache, and the report stays bit-for-bit equal to the
+            # full stitch (the stitcher's exactness argument).  Owners are
+            # resolved per call, so kd migrations need no invalidation.
+            current: Dict[int, Tuple[MotionPath, int]] = {}
+            for shard in self.shards:
+                for path_id, hotness in shard.hotness.items():
+                    if path_id not in self.owners:
+                        continue  # hot entry without a live record (mirrors hot_paths())
+                    current[path_id] = (shard.index.get(path_id).path, hotness)
+            self._stitcher.sync(current)
+            corridors, stats = self._stitcher.report(
+                mode, lambda path_id: self.owners[path_id].shard_id
+            )
+            self.stitch_stats = {"mode": mode, **stats}
+            return corridors
         straddling: Dict[int, Tuple[int, int]] = {}
         for entries in self.boundary_ledger.values():
             straddling.update(entries)
@@ -1123,6 +1210,53 @@ class ShardRouter:
 
     # -- diagnostics ----------------------------------------------------------------
 
+    @staticmethod
+    def zero_pool_stats() -> Dict[str, int]:
+        """The all-zero pool-cache outcome (full mode, empty epochs)."""
+        return {
+            "pools_total": 0,
+            "pools_reused": 0,
+            "pools_prefix_reused": 0,
+            "pools_rebuilt": 0,
+        }
+
+    def delta_statistics(self) -> Dict[str, float]:
+        """Lifetime incrementality counters of the delta pipeline.
+
+        All zeros in ``full`` mode (stable schema): ``pools_reused`` /
+        ``pools_prefix_reused`` / ``pools_rebuilt`` tally the pool cache's
+        outcomes over every epoch, the rest are the incremental stitcher's
+        totals — how many corridor chains were re-welded vs. reused, how many
+        fragments entered and left the hot set, how many expiry events
+        coalesced into a single chain teardown, and how many corridor objects
+        were patched vs. served from cache.
+        """
+        statistics: Dict[str, float] = {
+            "pools_total": 0,
+            "pools_reused": 0,
+            "pools_prefix_reused": 0,
+            "pools_rebuilt": 0,
+            "chains_rewelded": 0,
+            "chains_reused": 0,
+            "fragments_added": 0,
+            "fragments_removed": 0,
+            "expiry_coalesced": 0,
+            "corridors_patched": 0,
+            "corridors_reused": 0,
+        }
+        if self.pool_cache is not None:
+            statistics["pools_reused"] = self.pool_cache.reused
+            statistics["pools_prefix_reused"] = self.pool_cache.prefix_reused
+            statistics["pools_rebuilt"] = self.pool_cache.rebuilt
+            statistics["pools_total"] = (
+                self.pool_cache.reused
+                + self.pool_cache.prefix_reused
+                + self.pool_cache.rebuilt
+            )
+        if self._stitcher is not None:
+            statistics.update(self._stitcher.totals)
+        return statistics
+
     def shard_statistics(self) -> Dict[str, float]:
         """Load-balance diagnostics: how evenly records spread over the fleet.
 
@@ -1141,7 +1275,7 @@ class ShardRouter:
         sizes = [len(shard.index) for shard in self.shards]
         total = sum(sizes)
         mean = total / len(sizes) if sizes else 0.0
-        return {
+        statistics = {
             "num_shards": len(self.shards),
             "total_records": total,
             "max_shard_records": max(sizes) if sizes else 0,
@@ -1153,3 +1287,5 @@ class ShardRouter:
             ),
             "rebalances": self.rebalances,
         }
+        statistics.update(self.delta_statistics())
+        return statistics

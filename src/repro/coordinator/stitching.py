@@ -74,6 +74,7 @@ __all__ = [
     "STITCHING_MODES",
     "CorridorSegment",
     "CompositeCorridor",
+    "IncrementalStitcher",
     "StitchFragment",
     "weld_runs",
     "successors_from_runs",
@@ -360,6 +361,259 @@ def stitch_paths(
     successor = successors_from_runs(weld_runs(fragments))
     chains = chain_fragments(info, successor)
     return build_corridors(chains, info.__getitem__)
+
+
+# ---------------------------------------------------------------------------
+# Incremental stitching (epoch_mode="delta")
+# ---------------------------------------------------------------------------
+
+
+class IncrementalStitcher:
+    """Maintain corridor chains incrementally under insert/expire/weld events.
+
+    The full stitch re-welds the entire hot fragment set every time the
+    corridor report is queried; this class keeps the weld structure — vertex
+    occupancy, the weld decided at each vertex, the successor/predecessor
+    maps, the chain partition and (in ``exact`` mode) the materialised
+    :class:`CompositeCorridor` per chain — alive across epochs, so a query
+    only pays for the fragments that changed since the last one.
+
+    :meth:`sync` diffs the caller's current hot set against the retained one
+    (membership is authoritative — renames appear as remove+add, so the
+    stitcher never needs to trust an event log), re-decides the welds at the
+    touched vertices via the same degree-1 rule as :func:`weld_runs`, and
+    re-chains only the *tainted* chains: a chain is tainted when a member was
+    added or removed or when a weld on it appeared or disappeared.  Every
+    other chain — and its cached corridor — is reused untouched.  This is
+    corridor-aware expiry: ``k`` fragments of one corridor expiring in the
+    same epoch tear the chain down once, not ``k`` times (the coalescing is
+    counted in ``expiry_coalesced``).
+
+    **Exactness.**  The retained successor map always equals the one a global
+    weld pass would compute (welds are a per-vertex set function of the hot
+    set, and every touched vertex is re-decided).  Re-chaining only tainted
+    chains is exact because tainted-ness is closed over weld edges: an edge
+    between two surviving fragments either predates the sync — then both ends
+    sat on the same old chain, so they are rebuilt (or reused) together — or
+    was created by it, which taints both endpoint chains.  Hence
+    :func:`chain_fragments` over the rebuilt members alone sees every edge a
+    global re-chain would, and heads/cycle-breaks come out identically, so
+    the report stays bit-for-bit equal to the full stitch — the contract of
+    ``tests/test_stitching_equivalence.py`` and the delta property suite.
+
+    Like the rest of this module, the class is shard-agnostic: owners are
+    resolved per :meth:`report` call (so kd rebalances need no invalidation —
+    geometry and ids survive a migration unchanged), and the single-shard
+    coordinator uses it with a constant owner function.
+    """
+
+    def __init__(self) -> None:
+        self._paths: Dict[int, MotionPath] = {}
+        self._hotness: Dict[int, int] = {}
+        self._starts: Dict[Tuple[float, float], set] = {}
+        self._ends: Dict[Tuple[float, float], set] = {}
+        self._weld_at: Dict[Tuple[float, float], Tuple[int, int]] = {}
+        self._successor: Dict[int, int] = {}
+        self._predecessor: Dict[int, int] = {}
+        self._chains: Dict[int, List[int]] = {}
+        self._chain_of: Dict[int, int] = {}
+        self._corridors: Dict[int, CompositeCorridor] = {}
+        #: Counters accumulated since the last :meth:`report` (folded into its
+        #: stats dict and then reset).
+        self._since_report: Dict[str, int] = self._zero_counters()
+        #: Lifetime totals, surfaced by ``shard_statistics()``.
+        self.totals: Dict[str, int] = self._zero_counters()
+
+    @staticmethod
+    def _zero_counters() -> Dict[str, int]:
+        return {
+            "fragments_added": 0,
+            "fragments_removed": 0,
+            "expiry_coalesced": 0,
+            "chains_rewelded": 0,
+            "chains_reused": 0,
+            "corridors_patched": 0,
+            "corridors_reused": 0,
+        }
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        self._since_report[counter] += amount
+        self.totals[counter] += amount
+
+    def _resolve(self, path_id: int) -> Tuple[MotionPath, int]:
+        return self._paths[path_id], self._hotness[path_id]
+
+    # -- weld maintenance ---------------------------------------------------------
+
+    def _reweld(self, vertex: Tuple[float, float], taint: Callable[[int], None]) -> None:
+        """Re-decide the degree-1 weld at ``vertex`` after its occupancy changed."""
+        enders = self._ends.get(vertex)
+        starters = self._starts.get(vertex)
+        new_weld = None
+        if enders is not None and starters is not None and len(enders) == 1 and len(starters) == 1:
+            predecessor_id = next(iter(enders))
+            successor_id = next(iter(starters))
+            if predecessor_id != successor_id:  # a degenerate self-loop never welds
+                new_weld = (predecessor_id, successor_id)
+        old_weld = self._weld_at.get(vertex)
+        if old_weld == new_weld:
+            return
+        if old_weld is not None:
+            old_predecessor, old_successor = self._weld_at.pop(vertex)
+            del self._successor[old_predecessor]
+            del self._predecessor[old_successor]
+            taint(old_predecessor)
+            taint(old_successor)
+        if new_weld is not None:
+            predecessor_id, successor_id = new_weld
+            self._weld_at[vertex] = new_weld
+            self._successor[predecessor_id] = successor_id
+            self._predecessor[successor_id] = predecessor_id
+            taint(predecessor_id)
+            taint(successor_id)
+
+    # -- the per-epoch diff -------------------------------------------------------
+
+    def sync(self, current: Mapping[int, Tuple[MotionPath, int]]) -> None:
+        """Diff ``current`` (id -> (path, hotness)) against the retained hot set.
+
+        Applies removals, then insertions, re-deciding welds at every touched
+        vertex, then re-chains exactly the tainted chains.  Hotness-only
+        changes patch the counter and drop the chain's cached corridor
+        without re-welding anything.
+        """
+        removed = [path_id for path_id in self._paths if path_id not in current]
+        added = [path_id for path_id in current if path_id not in self._paths]
+        dirty_heads: set = set()
+        loose: set = set()
+
+        def taint(path_id: int) -> None:
+            head = self._chain_of.get(path_id)
+            if head is not None:
+                dirty_heads.add(head)
+            else:
+                loose.add(path_id)
+
+        removals_by_head: Dict[int, int] = {}
+        for path_id in removed:
+            head = self._chain_of.get(path_id)
+            if head is not None:
+                removals_by_head[head] = removals_by_head.get(head, 0) + 1
+                dirty_heads.add(head)
+            path = self._paths.pop(path_id)
+            del self._hotness[path_id]
+            start_vertex = (path.start.x, path.start.y)
+            end_vertex = (path.end.x, path.end.y)
+            self._discard(self._starts, start_vertex, path_id)
+            self._discard(self._ends, end_vertex, path_id)
+            self._reweld(start_vertex, taint)
+            self._reweld(end_vertex, taint)
+        for path_id in added:
+            path, hotness = current[path_id]
+            self._paths[path_id] = path
+            self._hotness[path_id] = hotness
+            start_vertex = (path.start.x, path.start.y)
+            end_vertex = (path.end.x, path.end.y)
+            self._starts.setdefault(start_vertex, set()).add(path_id)
+            self._ends.setdefault(end_vertex, set()).add(path_id)
+            loose.add(path_id)
+            self._reweld(start_vertex, taint)
+            self._reweld(end_vertex, taint)
+
+        added_set = set(added)
+        for path_id, (_path, hotness) in current.items():
+            if path_id in added_set or self._hotness[path_id] == hotness:
+                continue
+            self._hotness[path_id] = hotness
+            head = self._chain_of.get(path_id)
+            if head is not None and head not in dirty_heads:
+                if self._corridors.pop(head, None) is not None:
+                    self._bump("corridors_patched")
+
+        removed_set = set(removed)
+        rebuilt_members = set(loose)
+        for head in dirty_heads:
+            members = self._chains.pop(head, None)
+            if members is None:
+                continue
+            rebuilt_members.update(members)
+            for member in members:
+                self._chain_of.pop(member, None)
+            self._corridors.pop(head, None)
+        rebuilt_members -= removed_set
+        new_chains = chain_fragments(rebuilt_members, self._successor)
+        for chain in new_chains:
+            head = chain[0]
+            self._chains[head] = chain
+            for member in chain:
+                self._chain_of[member] = head
+
+        self._bump("fragments_added", len(added))
+        self._bump("fragments_removed", len(removed))
+        self._bump("chains_rewelded", len(new_chains))
+        self._bump(
+            "expiry_coalesced",
+            sum(count - 1 for count in removals_by_head.values() if count > 1),
+        )
+
+    @staticmethod
+    def _discard(occupancy: Dict[Tuple[float, float], set], vertex: Tuple[float, float], path_id: int) -> None:
+        members = occupancy.get(vertex)
+        if members is not None:
+            members.discard(path_id)
+            if not members:
+                del occupancy[vertex]
+
+    # -- the patched report -------------------------------------------------------
+
+    def report(
+        self, mode: str, owner_of: Callable[[int], int]
+    ) -> Tuple[List[CompositeCorridor], Dict[str, int]]:
+        """The corridor report plus its stats, rebuilt only where dirtied.
+
+        Chains come out sorted by head id — the canonical order
+        :func:`chain_fragments` produces globally.  ``exact`` mode serves
+        each untouched chain's corridor from the per-chain cache; ``off``
+        mode cuts the exact chains at owner boundaries per call (owners may
+        change under rebalancing, so boundary cuts are never cached).
+        """
+        heads = sorted(self._chains)
+        chains = [self._chains[head] for head in heads]
+        welds_used = sum(len(chain) - 1 for chain in chains)
+        boundary_welds = 0
+        for chain in chains:
+            for left, right in zip(chain, chain[1:]):
+                if owner_of(left) != owner_of(right):
+                    boundary_welds += 1
+        if mode == "off":
+            pieces = split_chains_at_boundaries(chains, owner_of)
+            corridors = build_corridors(pieces, self._resolve)
+        else:
+            corridors = []
+            for head, chain in zip(heads, chains):
+                cached = self._corridors.get(head)
+                if cached is None:
+                    cached = build_corridors([chain], self._resolve)[0]
+                    self._corridors[head] = cached
+                    self._bump("corridors_patched")
+                else:
+                    self._bump("corridors_reused")
+                corridors.append(cached)
+        self._bump(
+            "chains_reused", len(chains) - min(self._since_report["chains_rewelded"], len(chains))
+        )
+        stats: Dict[str, int] = {
+            "fragments": len(self._paths),
+            "welds": welds_used,
+            "boundary_welds": boundary_welds,
+            "corridors": len(corridors),
+            "multi_segment_corridors": sum(
+                1 for corridor in corridors if corridor.num_segments > 1
+            ),
+        }
+        stats.update(self._since_report)
+        self._since_report = self._zero_counters()
+        return corridors, stats
 
 
 # ---------------------------------------------------------------------------

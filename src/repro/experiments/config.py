@@ -136,6 +136,7 @@ def scaled_simulation_config(
     stitching: str = "exact",
     partition: str = "uniform",
     rebalance_threshold: float = 2.0,
+    epoch_mode: str = "delta",
     seed: int = 42,
 ) -> SimulationConfig:
     """Build a :class:`SimulationConfig` from paper defaults, scaled for Python.
@@ -170,6 +171,7 @@ def scaled_simulation_config(
         stitching=stitching,
         partition=partition,
         rebalance_threshold=rebalance_threshold,
+        epoch_mode=epoch_mode,
         seed=seed,
         run_dp_baseline=run_dp_baseline,
         run_naive_baseline=run_naive_baseline,

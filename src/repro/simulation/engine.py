@@ -67,7 +67,10 @@ class SimulationConfig:
     way.  ``partition`` selects the fleet's spatial layout: ``uniform`` (the
     fixed R x C grid) or ``kd`` (load-adaptive kd splits, rebalanced at
     epoch boundaries when the shard-load imbalance exceeds
-    ``rebalance_threshold``); both are behaviour-identical.
+    ``rebalance_threshold``); both are behaviour-identical.  ``epoch_mode``
+    selects the incremental epoch pipeline: ``delta`` (the default) reuses
+    unchanged halo pools and corridor chains across epochs — bit-for-bit
+    equal to ``full``, which rebuilds everything per epoch.
     """
 
     num_objects: int = 20000
@@ -87,6 +90,7 @@ class SimulationConfig:
     stitching: str = "exact"
     partition: str = "uniform"
     rebalance_threshold: float = 2.0
+    epoch_mode: str = "delta"
     seed: int = 42
     report_uncertainty: bool = False
     run_dp_baseline: bool = True
@@ -187,6 +191,7 @@ class HotPathSimulation:
                 stitching=config.stitching,
                 partition=config.partition,
                 rebalance_threshold=config.rebalance_threshold,
+                epoch_mode=config.epoch_mode,
             )
         )
         self.dp_baseline: Optional[DPHotSegmentTracker] = None

@@ -1,0 +1,389 @@
+"""Property-based tests for the incremental epoch pipeline (epoch_mode="delta").
+
+The delta pipeline's whole claim is *algebraic*: applying an epoch's delta to
+the previous state must equal rebuilding that state from scratch.  Random
+event sequences check that claim for each delta carrier independently:
+
+* **membership algebra** (:mod:`repro.coordinator.delta`) — applying a
+  composed delta equals applying its parts in order, composition is
+  associative, disjoint deltas commute, and the empty delta is the identity;
+* **hotness deltas** (:class:`repro.coordinator.hotness.HotnessDeltaLog`) —
+  replaying a tracker's drained event log against a mirror reproduces the
+  tracker's hot set and counters exactly, under random crossing/expiry
+  interleavings and provisional-id renames;
+* **pool cache** (:class:`repro.coordinator.overlaps.OverlapPoolCache`) —
+  whatever mix of exact hits, prefix resumes and rebuilds the cache chooses
+  for a random pool-churn sequence, every resolved structure is bit-for-bit
+  the structure a from-scratch build produces;
+* **incremental stitching**
+  (:class:`repro.coordinator.stitching.IncrementalStitcher`) — after any
+  sequence of insert/expire/hotness-change events, the patched corridor
+  report equals :func:`~repro.coordinator.stitching.stitch_paths` run fresh
+  over the surviving hot set, in both stitching modes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.geometry import Point, Rectangle
+from repro.core.motion_path import MotionPath, MotionPathRecord
+from repro.coordinator.delta import (
+    EpochDelta,
+    apply_membership,
+    compose_membership,
+)
+from repro.coordinator.hotness import HotnessTracker
+from repro.coordinator.overlaps import FsaOverlapStructure, OverlapPoolCache
+from repro.coordinator.sharding import ShardGrid
+from repro.coordinator.stitching import IncrementalStitcher, stitch_paths
+
+# ---------------------------------------------------------------------------
+# Membership algebra
+# ---------------------------------------------------------------------------
+
+ids = st.integers(min_value=0, max_value=12)
+id_sets = st.frozensets(ids, max_size=8)
+
+
+@st.composite
+def membership_deltas(draw) -> Tuple[frozenset, frozenset]:
+    """An ``(added, removed)`` pair with disjoint sides, like real epochs
+    produce (a vanished path's id is never re-hot in the same epoch)."""
+    added = draw(id_sets)
+    removed = draw(id_sets.map(lambda s: s - added))
+    return added, removed
+
+
+class TestMembershipAlgebra:
+    @settings(max_examples=300, deadline=None)
+    @given(id_sets, membership_deltas(), membership_deltas())
+    def test_compose_equals_sequential_application(self, members, first, second):
+        composed = compose_membership(first, second)
+        assert apply_membership(members, composed) == apply_membership(
+            apply_membership(members, first), second
+        )
+
+    @settings(max_examples=300, deadline=None)
+    @given(id_sets, membership_deltas(), membership_deltas(), membership_deltas())
+    def test_compose_is_associative(self, members, a, b, c):
+        left = compose_membership(compose_membership(a, b), c)
+        right = compose_membership(a, compose_membership(b, c))
+        # Composition itself need not be syntactically equal, but the two
+        # composites must act identically on every state.
+        assert apply_membership(members, left) == apply_membership(members, right)
+
+    @settings(max_examples=300, deadline=None)
+    @given(id_sets, membership_deltas(), membership_deltas())
+    def test_disjoint_deltas_commute(self, members, first, second):
+        touched_first = first[0] | first[1]
+        second = (second[0] - touched_first, second[1] - touched_first)
+        assert apply_membership(
+            members, compose_membership(first, second)
+        ) == apply_membership(members, compose_membership(second, first))
+
+    @settings(max_examples=200, deadline=None)
+    @given(id_sets)
+    def test_empty_delta_is_identity(self, members):
+        empty = (frozenset(), frozenset())
+        assert apply_membership(members, empty) == members
+        delta = EpochDelta(timestamp=10)
+        assert delta.is_noop()
+        assert apply_membership(members, delta.membership) == members
+
+
+# ---------------------------------------------------------------------------
+# Hotness delta log vs. the tracker it journals
+# ---------------------------------------------------------------------------
+
+hotness_scripts = st.lists(
+    st.one_of(
+        st.tuples(st.just("cross"), st.integers(0, 9), st.integers(0, 30)),
+        st.tuples(st.just("advance"), st.integers(0, 60), st.integers(0, 0)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestHotnessDeltaReplay:
+    @settings(max_examples=200, deadline=None)
+    @given(hotness_scripts)
+    def test_drained_log_rebuilds_the_tracker(self, script):
+        """Mirror counters maintained purely from drained logs must equal the
+        tracker's own table after every epoch — ``apply(delta, state) ==
+        rebuild(full)`` for hotness."""
+        tracker = HotnessTracker(window=15)
+        tracker.enable_delta_log()
+        mirror: Dict[int, int] = {}
+        clock = 0
+        for op, a, b in script:
+            if op == "cross":
+                # Crossings never end before already-expired time.
+                tracker.record_crossing(a, clock + b)
+            else:
+                clock = max(clock, a)
+                tracker.advance_time(clock)
+            log = tracker.drain_delta_log()
+            for path_id in log.newly_hot:
+                assert mirror.get(path_id, 0) == 0
+                mirror[path_id] = 1
+            for path_id in log.touched:
+                assert mirror[path_id] >= 1
+                mirror[path_id] += 1
+            for path_id in log.decayed:
+                mirror[path_id] -= 1
+                assert mirror[path_id] >= 1
+            for path_id in log.vanished:
+                assert mirror.pop(path_id) == 1
+            assert mirror == dict(tracker.items())
+
+    @settings(max_examples=150, deadline=None)
+    @given(hotness_scripts, st.integers(1, 5))
+    def test_log_survives_provisional_renames(self, script, offset):
+        """Crossings recorded under provisional ids then renamed (the parallel
+        commit path) must drain as final ids, matching a tracker that used
+        final ids all along."""
+        provisional = HotnessTracker(window=15)
+        provisional.enable_delta_log()
+        final = HotnessTracker(window=15)
+        final.enable_delta_log()
+        provisional.begin_deferred()
+        crossed = set()
+        for op, a, b in script:
+            if op == "cross":
+                provisional.record_crossing(a + 1000, b)
+                final.record_crossing(a + offset, b)
+                crossed.add(a)
+        mapping = {a + 1000: a + offset for a in crossed}
+        provisional.flush_deferred(mapping)
+        final.flush_deferred({})
+        log_a, log_b = provisional.drain_delta_log(), final.drain_delta_log()
+        assert log_a.newly_hot == log_b.newly_hot
+        assert log_a.touched == log_b.touched
+        assert dict(provisional.items()) == dict(final.items())
+
+
+# ---------------------------------------------------------------------------
+# Pool cache: every resolution is bit-for-bit the from-scratch build
+# ---------------------------------------------------------------------------
+
+coordinate_pool = st.sampled_from([0.0, 100.0, 250.0, 400.0, 500.0, 750.0, 900.0])
+
+
+@st.composite
+def fsa_pools(draw) -> List[Tuple[int, Rectangle]]:
+    count = draw(st.integers(min_value=0, max_value=6))
+    pool = []
+    for object_id in range(count):
+        x = draw(coordinate_pool)
+        y = draw(coordinate_pool)
+        half = draw(st.sampled_from([40.0, 90.0, 160.0]))
+        pool.append((object_id, Rectangle.from_center(Point(x, y), half)))
+    return pool
+
+
+@st.composite
+def pool_epochs(draw) -> List[List[Dict[int, Rectangle]]]:
+    """Several epochs of pools with churn: pools repeat, extend (prefix
+    resumes), shrink and mutate across epochs."""
+    base = draw(st.lists(fsa_pools(), min_size=1, max_size=4))
+    epochs = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        epoch = []
+        for pool in base:
+            action = draw(st.sampled_from(["same", "extend", "shrink", "mutate"]))
+            members = list(pool)
+            if action == "extend":
+                x = draw(coordinate_pool)
+                members = members + [
+                    (len(members) + 100, Rectangle.from_center(Point(x, x), 50.0))
+                ]
+            elif action == "shrink" and members:
+                members = members[:-1]
+            elif action == "mutate" and members:
+                object_id, rect = members[0]
+                members = [(object_id, Rectangle.from_center(rect.low, 25.0))] + members[1:]
+            epoch.append(dict(members))
+        epochs.append(epoch)
+    return epochs
+
+
+class TestPoolCacheBitIdentity:
+    @settings(max_examples=150, deadline=None)
+    @given(pool_epochs())
+    def test_resolved_structures_equal_fresh_builds(self, epochs):
+        cache = OverlapPoolCache()
+        for pools in epochs:
+            structures, miss_indexes, stats = cache.resolve(pools)
+            for index in miss_indexes:
+                structures[index] = FsaOverlapStructure.build(pools[index])
+            cache.store(pools, structures)
+            assert stats["pools_total"] == len(pools)
+            assert stats["pools_total"] == (
+                stats["pools_reused"]
+                + stats["pools_prefix_reused"]
+                + stats["pools_rebuilt"]
+            )
+            for pool, structure in zip(pools, structures):
+                fresh = FsaOverlapStructure.build(pool)
+                assert structure.serialized() == fresh.serialized(), (
+                    "cached/prefix-resumed structure diverged from a fresh build"
+                )
+
+    @settings(max_examples=100, deadline=None)
+    @given(pool_epochs())
+    def test_repeat_epochs_hit_the_cache(self, epochs):
+        """Replaying the same epoch twice must reuse every pool the second
+        time — the low-churn speedup the benchmark table measures."""
+        cache = OverlapPoolCache()
+        pools = epochs[0]
+        structures, miss_indexes, _stats = cache.resolve(pools)
+        for index in miss_indexes:
+            structures[index] = FsaOverlapStructure.build(pools[index])
+        cache.store(pools, structures)
+        again, miss_again, stats = cache.resolve(pools)
+        assert miss_again == []
+        assert stats["pools_reused"] == len(pools)
+        for first, second in zip(structures, again):
+            assert first.serialized() == second.serialized()
+
+
+# ---------------------------------------------------------------------------
+# Incremental stitcher vs. the global reference stitch
+# ---------------------------------------------------------------------------
+
+vertex_pool = st.sampled_from(
+    [-50.0, 0.0, 100.0, 250.0, 400.0, 500.0, 625.0, 750.0, 900.0, 1000.0, 1050.0]
+)
+
+BOUNDS = Rectangle(Point(0.0, 0.0), Point(1000.0, 1000.0))
+
+#: One event per tuple: ("insert", id, x1, y1, x2, y2, hotness) /
+#: ("expire", id-index) / ("retouch", id-index, new_hotness)
+stitch_events = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            vertex_pool,
+            vertex_pool,
+            vertex_pool,
+            vertex_pool,
+            st.integers(1, 5),
+        ),
+        st.tuples(st.just("expire"), st.integers(0, 30)),
+        st.tuples(st.just("retouch"), st.integers(0, 30), st.integers(1, 9)),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _reference(hot: Dict[int, Tuple[MotionPath, int]]):
+    return stitch_paths(
+        (MotionPathRecord(path_id, path, 0), hotness)
+        for path_id, (path, hotness) in hot.items()
+    )
+
+
+class TestIncrementalStitcherProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(stitch_events, st.integers(0, 3))
+    def test_patched_report_equals_global_restitch(self, events, epochs_split):
+        """Random insert/expire/retouch sequences, synced in arbitrary epoch
+        groupings: the incremental report must equal ``stitch_paths`` over
+        the surviving set after every sync."""
+        stitcher = IncrementalStitcher()
+        hot: Dict[int, Tuple[MotionPath, int]] = {}
+        next_id = 0
+        rng = random.Random(epochs_split)
+        pending = list(events)
+        while pending:
+            take = max(1, min(len(pending), rng.randrange(1, 8)))
+            chunk, pending = pending[:take], pending[take:]
+            for event in chunk:
+                if event[0] == "insert":
+                    _tag, x1, y1, x2, y2, hotness = event
+                    hot[next_id] = (MotionPath(Point(x1, y1), Point(x2, y2)), hotness)
+                    next_id += 1
+                elif event[0] == "expire":
+                    live = sorted(hot)
+                    if live:
+                        del hot[live[event[1] % len(live)]]
+                else:
+                    live = sorted(hot)
+                    if live:
+                        path_id = live[event[1] % len(live)]
+                        path, _old = hot[path_id]
+                        hot[path_id] = (path, event[2])
+            stitcher.sync(dict(hot))
+            corridors, _stats = stitcher.report("exact", lambda path_id: 0)
+            assert corridors == _reference(hot)
+
+    @settings(max_examples=100, deadline=None)
+    @given(stitch_events)
+    def test_off_mode_report_matches_boundary_split_reference(self, events):
+        """The boundary-truncating mode, with a real 2x2 ownership map."""
+        grid = ShardGrid(BOUNDS, 2, 2)
+        stitcher = IncrementalStitcher()
+        hot: Dict[int, Tuple[MotionPath, int]] = {}
+        next_id = 0
+        for event in events:
+            if event[0] == "insert":
+                _tag, x1, y1, x2, y2, hotness = event
+                hot[next_id] = (MotionPath(Point(x1, y1), Point(x2, y2)), hotness)
+                next_id += 1
+            elif event[0] == "expire":
+                live = sorted(hot)
+                if live:
+                    del hot[live[event[1] % len(live)]]
+            else:
+                live = sorted(hot)
+                if live:
+                    path_id = live[event[1] % len(live)]
+                    path, _old = hot[path_id]
+                    hot[path_id] = (path, event[2])
+        stitcher.sync(dict(hot))
+
+        def owner_of(path_id: int) -> int:
+            return grid.shard_id_of(hot[path_id][0].start)
+
+        off_corridors, _stats = stitcher.report("off", owner_of)
+        # Reference: global stitch cut where consecutive segments change owner.
+        pieces = []
+        for corridor in _reference(hot):
+            piece = [corridor.segments[0]]
+            for previous, segment in zip(corridor.segments, corridor.segments[1:]):
+                if owner_of(previous.path_id) != owner_of(segment.path_id):
+                    pieces.append(tuple(piece))
+                    piece = [segment]
+                else:
+                    piece.append(segment)
+            pieces.append(tuple(piece))
+        expected = sorted(
+            tuple(segment.path_id for segment in piece) for piece in pieces
+        )
+        assert sorted(corridor.path_ids for corridor in off_corridors) == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(stitch_events)
+    def test_sync_is_idempotent(self, events):
+        """Syncing the same state twice changes nothing and reuses chains."""
+        stitcher = IncrementalStitcher()
+        hot: Dict[int, Tuple[MotionPath, int]] = {}
+        next_id = 0
+        for event in events:
+            if event[0] == "insert":
+                _tag, x1, y1, x2, y2, hotness = event
+                hot[next_id] = (MotionPath(Point(x1, y1), Point(x2, y2)), hotness)
+                next_id += 1
+        stitcher.sync(dict(hot))
+        first, _ = stitcher.report("exact", lambda path_id: 0)
+        stitcher.sync(dict(hot))
+        second, stats = stitcher.report("exact", lambda path_id: 0)
+        assert second == first
+        if first:
+            assert stats["corridors_reused"] == len(first)

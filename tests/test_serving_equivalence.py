@@ -15,17 +15,26 @@ the wire is the proof they do not.
 
 from __future__ import annotations
 
+import asyncio
 import json
+import random
+import time
 
 import pytest
 
+from repro.core.geometry import Point, Rectangle
+from repro.client.state import ObjectState
+from repro.coordinator.coordinator import Coordinator, CoordinatorConfig
+from repro.serving.protocol import coordinator_snapshot, encode_update
 from repro.serving.scenarios import (
     SCENARIOS,
     InjectionConfig,
     ScenarioRunner,
+    _WireClient,
     get_scenario,
     replay_accepted_log,
 )
+from repro.serving.server import IngestionServer, ServingConfig
 
 BACKENDS = ["serial", "threads", "processes"]
 PARTITIONS = ["uniform", "kd"]
@@ -122,6 +131,170 @@ class TestConcurrentClients:
 
         assert racing.accepted_log == ordered.accepted_log
         assert racing.report == ordered.report
+
+
+class TestEpochModeServing:
+    """``epoch_mode`` is invisible over the wire: delta-mode served fleets and
+    replays must land on exactly the seed snapshot, chaos included."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_delta_serving_matches_full_seed_replay(self, backend):
+        runner = ScenarioRunner(
+            num_shards=4, backend=backend, partition="kd", epoch_mode="delta"
+        )
+        result = runner.run("bursty_downtown", seed=7)
+
+        full_reference = replay_accepted_log(result.accepted_log, epoch_mode="full")
+        assert result.report == full_reference
+        assert replay_accepted_log(result.accepted_log, epoch_mode="delta") == full_reference
+
+    def test_full_mode_serving_still_matches_delta_replay(self):
+        runner = ScenarioRunner(num_shards=4, backend="threads", epoch_mode="full")
+        result = runner.run("uniform_trickle", seed=11)
+
+        assert result.report == replay_accepted_log(result.accepted_log, epoch_mode="delta")
+
+    def test_chaos_faults_with_delta_mode_match_full_replay(self):
+        """Forced rebalances racing the delta pipeline's caches mid-run."""
+        runner = ScenarioRunner(
+            num_shards=4, backend="threads", partition="kd", epoch_mode="delta"
+        )
+        injection = InjectionConfig(
+            enabled=True, fault="force_rebalance", rate=0.6, seed=9
+        )
+        result = runner.run("bursty_downtown", seed=7, injection=injection)
+
+        assert result.forced_rebalances >= 1
+        assert result.report == replay_accepted_log(result.accepted_log, epoch_mode="full")
+
+    def test_delta_replay_through_rebalancing_fleet_matches_full(self):
+        result = ScenarioRunner(num_shards=4, epoch_mode="delta").run(
+            "bursty_downtown", seed=3
+        )
+        reference = replay_accepted_log(result.accepted_log, epoch_mode="full")
+        fleet = replay_accepted_log(
+            result.accepted_log,
+            num_shards=4,
+            backend="processes",
+            partition="kd",
+            rebalance_before=(1, 3),
+            epoch_mode="delta",
+        )
+        assert fleet == reference
+
+
+BOUNDS = Rectangle(Point(0.0, 0.0), Point(1000.0, 1000.0))
+
+
+class TestAutoEpochTicker:
+    """The wall-clock epoch ticker under concurrent client load.
+
+    Epoch boundaries here are *nondeterministic* (the ticker races the
+    clients), but the accepted log records exactly which updates each
+    committed epoch contained — so replaying the log through a fresh seed
+    coordinator must still reproduce the served snapshot bit for bit.  This
+    is the serving seam PR 7 left untested, pinned in both epoch modes.
+    """
+
+    CLIENTS = 4
+    BATCHES_PER_CLIENT = 12
+    UPDATES_PER_BATCH = 8
+
+    @staticmethod
+    def _batch_rows(client_id: int, seq: int):
+        rng = random.Random(client_id * 10_007 + seq)
+        rows = []
+        for _ in range(TestAutoEpochTicker.UPDATES_PER_BATCH):
+            start = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            fsa = Rectangle.from_center(
+                Point(
+                    min(max(start.x + rng.uniform(-150, 150), 0.0), 1000.0),
+                    min(max(start.y + rng.uniform(-150, 150), 0.0), 1000.0),
+                ),
+                rng.uniform(10, 80),
+            )
+            # Timestamps far below any boundary the ticker will reach keep
+            # every row admissible whatever epoch it happens to land in.
+            rows.append(
+                encode_update(
+                    ObjectState(
+                        rng.randrange(60), start, 0, fsa.low, fsa.high, 1
+                    )
+                )
+            )
+        return rows
+
+    async def _drive(self, epoch_mode: str):
+        coordinator = Coordinator(
+            CoordinatorConfig(
+                bounds=BOUNDS,
+                window=1_000_000,  # nothing expires mid-run: keeps rows admissible
+                cells_per_axis=32,
+                num_shards=4,
+                partition="kd",
+                epoch_mode=epoch_mode,
+            )
+        )
+        server = IngestionServer(
+            coordinator,
+            ServingConfig(port=0, auto_epoch_seconds=0.01, auto_epoch_timestamps=10),
+        )
+        await server.start()
+        try:
+            host, port = server.config.host, server.port
+
+            async def client(client_id: int) -> None:
+                wire = await _WireClient.connect(host, port)
+                try:
+                    for seq in range(self.BATCHES_PER_CLIENT):
+                        ack = await wire.request(
+                            {
+                                "op": "batch",
+                                "client": client_id,
+                                "seq": seq,
+                                "updates": self._batch_rows(client_id, seq),
+                            }
+                        )
+                        assert ack["ok"], ack
+                        # Spread the batches across several ticker intervals so
+                        # the load genuinely interleaves with wall-clock commits.
+                        await asyncio.sleep(0.003)
+                finally:
+                    await wire.close()
+
+            await asyncio.gather(*(client(i) for i in range(self.CLIENTS)))
+            # Drain: wait until the ticker has committed every accepted update.
+            deadline = time.monotonic() + 5.0
+            while (
+                server.batcher.pending_updates or server.batcher.epochs_committed < 3
+            ) and time.monotonic() < deadline:
+                await asyncio.sleep(0.01)
+            assert server.batcher.pending_updates == 0, "ticker never drained the queue"
+            assert server.batcher.epochs_committed >= 3, (
+                "the wall-clock ticker never fired three times"
+            )
+            snapshot = coordinator_snapshot(coordinator)
+            accepted_log = list(server.batcher.accepted_log)
+            accepted = server.batcher.accepted_updates
+        finally:
+            await server.stop()
+            coordinator.close()
+        return snapshot, accepted_log, accepted
+
+    @pytest.mark.parametrize("epoch_mode", ["full", "delta"])
+    def test_ticker_committed_state_replays_bit_for_bit(self, epoch_mode):
+        snapshot, accepted_log, accepted = asyncio.run(self._drive(epoch_mode))
+        assert accepted == self.CLIENTS * self.BATCHES_PER_CLIENT * self.UPDATES_PER_BATCH
+        assert sum(len(rows) for _now, rows in accepted_log) == accepted
+        # The served snapshot equals the seed replay of the ticker's log —
+        # in both epoch modes, whatever boundaries the wall clock produced.
+        for replay_mode in ("full", "delta"):
+            assert snapshot == replay_accepted_log(
+                accepted_log,
+                window=1_000_000,
+                cells_per_axis=32,
+                epoch_mode=replay_mode,
+            ), f"served {epoch_mode} snapshot != {replay_mode} seed replay"
 
 
 class TestReconnectStorm:

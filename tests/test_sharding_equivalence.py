@@ -56,6 +56,7 @@ def make_coordinator(
     overlap_halo: int = None,
     partition: str = "uniform",
     rebalance_threshold: float = 2.0,
+    epoch_mode: str = "delta",
 ) -> Coordinator:
     return Coordinator(
         CoordinatorConfig(
@@ -67,6 +68,7 @@ def make_coordinator(
             overlap_halo=overlap_halo,
             partition=partition,
             rebalance_threshold=rebalance_threshold,
+            epoch_mode=epoch_mode,
         )
     )
 
@@ -360,6 +362,223 @@ class TestRebalanceDifferential:
             assert parallel_partition == reference_partition, (
                 f"partition fit diverged on {backend}"
             )
+
+
+def drive_with_corridors(
+    coordinator: Coordinator, stream, rebalance_before: Tuple[int, ...] = ()
+) -> List[Dict]:
+    """Like :func:`drive`, but also snapshots the corridor report and the
+    per-epoch :class:`~repro.coordinator.delta.EpochDelta` after every epoch,
+    so the incremental pipeline's whole answer surface is compared."""
+    trace = []
+    try:
+        for index, (boundary, states) in enumerate(stream):
+            if index in rebalance_before and coordinator.router is not None:
+                coordinator.router.rebalance()
+            for state in states:
+                coordinator.submit_state(state)
+            outcome = coordinator.run_epoch(boundary)
+            trace.append(
+                {
+                    "responses": outcome.responses,
+                    "states_processed": outcome.states_processed,
+                    "paths_inserted": outcome.paths_inserted,
+                    "paths_reused": outcome.paths_reused,
+                    "paths_expired": outcome.paths_expired,
+                    "snapshot": index_snapshot(coordinator),
+                    "corridors": coordinator.hot_corridors(),
+                    "delta": outcome.delta,
+                }
+            )
+    finally:
+        coordinator.close()
+    return trace
+
+
+def assert_mode_equal(full_trace, delta_trace, context: str) -> None:
+    """Per-epoch bit-for-bit equality of everything except the delta itself."""
+    assert len(delta_trace) == len(full_trace)
+    for epoch, (expected, actual) in enumerate(zip(full_trace, delta_trace)):
+        for key in (
+            "responses",
+            "states_processed",
+            "paths_inserted",
+            "paths_reused",
+            "paths_expired",
+            "snapshot",
+            "corridors",
+        ):
+            assert actual[key] == expected[key], (
+                f"{context}: {key} diverged from full mode at epoch {epoch}"
+            )
+
+
+class TestEpochModeDifferential:
+    """``epoch_mode="delta"`` vs ``epoch_mode="full"``, bit for bit per epoch.
+
+    The incremental pipeline (cross-epoch halo-pool reuse, corridor-chain
+    patching, delta-shipped worker state) is pure plumbing: every epoch's
+    responses, index contents, hotness table, top-k and corridor report must
+    equal a full per-epoch rebuild exactly — under churn, expiry, forced
+    migrations and every backend.  Each scenario also pins that the delta
+    machinery actually engaged (reuse counters non-zero, deltas emitted), so
+    the equivalence claim is never vacuous.
+    """
+
+    @pytest.mark.parametrize("seed", [3, 11, 42])
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_delta_trace_matches_full(self, num_shards, seed):
+        stream = synthetic_stream(seed)
+        full_trace = drive_with_corridors(
+            make_coordinator(num_shards, epoch_mode="full"), stream
+        )
+        delta_coordinator = make_coordinator(num_shards, epoch_mode="delta")
+        delta_trace = drive_with_corridors(delta_coordinator, stream)
+        assert_mode_equal(full_trace, delta_trace, f"shards={num_shards}")
+        # Full mode emits no deltas; delta mode emits one per epoch.
+        assert all(entry["delta"] is None for entry in full_trace)
+        assert all(entry["delta"] is not None for entry in delta_trace)
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_delta_on_parallel_backends_matches_full(self, num_shards, backend):
+        stream = synthetic_stream(11)
+        full_trace = drive_with_corridors(
+            make_coordinator(num_shards, epoch_mode="full"), stream
+        )
+        delta_trace = drive_with_corridors(
+            make_coordinator(num_shards, backend=backend, epoch_mode="delta"), stream
+        )
+        assert_mode_equal(full_trace, delta_trace, f"{backend}/shards={num_shards}")
+
+    def test_single_shard_delta_matches_full(self):
+        """The seed architecture runs the incremental stitcher too."""
+        stream = synthetic_stream(42)
+        full_trace = drive_with_corridors(make_coordinator(1, epoch_mode="full"), stream)
+        delta_trace = drive_with_corridors(make_coordinator(1, epoch_mode="delta"), stream)
+        assert_mode_equal(full_trace, delta_trace, "single-shard")
+
+    @pytest.mark.parametrize("backend", ("serial",) + PARALLEL_BACKENDS)
+    def test_delta_with_kd_rebalance_matches_full(self, backend):
+        """Forced migrations + tight-threshold auto-rebalances mid-replay:
+        the pool cache (content-addressed) and the incremental stitcher
+        (geometry-based) must survive the record re-placement unchanged."""
+        stream = skewed_stream(42)
+        full_trace = drive_with_corridors(
+            make_coordinator(16, epoch_mode="full"), stream
+        )
+        delta = make_coordinator(
+            16, backend=backend, partition="kd", rebalance_threshold=1.2,
+            epoch_mode="delta",
+        )
+        delta_trace = drive_with_corridors(delta, stream, rebalance_before=(2, 5))
+        assert_mode_equal(full_trace, delta_trace, f"kd/{backend}")
+        assert delta.router.rebalances >= 2, "no rebalance fired — vacuous scenario"
+        assert any(entry["delta"].rebalanced for entry in delta_trace)
+
+    @pytest.mark.parametrize("num_shards", (1,) + SHARD_COUNTS)
+    def test_delta_under_forced_expiry_churn_matches_full(self, num_shards):
+        """A short window forces paths to expire mid-replay (corridor-aware
+        expiry must drop them from chains) and quiet epochs interleave with
+        bursts, so chains are built, patched and torn down repeatedly."""
+        stream = synthetic_stream(21, epochs=10, per_epoch=20)
+        # Quiet epochs: drop all states from epochs 4 and 7 so expiry runs
+        # against an unchanged submission side.
+        stream = [
+            (boundary, [] if index in (4, 7) else states)
+            for index, (boundary, states) in enumerate(stream)
+        ]
+        full_trace = drive_with_corridors(
+            make_coordinator(num_shards, window=25, epoch_mode="full"), stream
+        )
+        delta_trace = drive_with_corridors(
+            make_coordinator(num_shards, window=25, epoch_mode="delta"), stream
+        )
+        assert_mode_equal(full_trace, delta_trace, f"expiry/shards={num_shards}")
+        assert any(entry["paths_expired"] > 0 for entry in delta_trace), (
+            "window never expired a path — vacuous scenario"
+        )
+        assert any(entry["delta"].deleted for entry in delta_trace)
+
+    def test_epoch_delta_tracks_hot_membership(self):
+        """The emitted delta is a faithful journal: applying each epoch's
+        membership delta to the previous hot set yields the next hot set,
+        and inserted/deleted ids match the index mutations."""
+        from repro.coordinator.delta import apply_membership
+
+        stream = synthetic_stream(11)
+        coordinator = make_coordinator(4, window=25, epoch_mode="delta")
+        hot: frozenset = frozenset()
+        known_ids: set = set()
+        try:
+            for boundary, states in stream:
+                for state in states:
+                    coordinator.submit_state(state)
+                outcome = coordinator.run_epoch(boundary)
+                delta = outcome.delta
+                assert delta is not None and delta.timestamp == boundary
+                added, removed = delta.membership
+                assert not (added & removed), "newly_hot and vanished overlap"
+                hot = apply_membership(hot, delta.membership)
+                assert hot == frozenset(
+                    path_id for path_id, _h in coordinator.hotness.items()
+                )
+                # Inserted ids are new, live in the index, and never recycled.
+                for path_id in delta.inserted:
+                    assert path_id not in known_ids
+                    known_ids.add(path_id)
+                assert len(delta.inserted) == outcome.paths_inserted
+                assert len(delta.deleted) == outcome.paths_expired
+                for path_id in delta.deleted:
+                    assert path_id not in coordinator.index
+        finally:
+            coordinator.close()
+
+    def test_delta_counters_account_for_reuse(self):
+        """A repeating stream must actually *hit* the caches: unchanged halo
+        pools are reused across epochs and corridor chains are patched, and
+        the statistics surface says so."""
+        rng_stream = synthetic_stream(3, epochs=2, per_epoch=25)
+        # Re-report the exact same states each epoch (fresh end timestamps
+        # keep the window alive) — pool membership is then stable.
+        base_states = rng_stream[0][1]
+        stream = []
+        for epoch in range(1, 7):
+            boundary = epoch * 10
+            states = [
+                ObjectState(
+                    s.object_id, s.start, boundary - 5, s.fsa_low, s.fsa_high, boundary - 1
+                )
+                for s in base_states
+            ]
+            stream.append((boundary, states))
+        coordinator = make_coordinator(4, window=60, epoch_mode="delta")
+        try:
+            for boundary, states in stream:
+                for state in states:
+                    coordinator.submit_state(state)
+                coordinator.run_epoch(boundary)
+                coordinator.hot_corridors()
+            stats = coordinator.shard_statistics()
+        finally:
+            coordinator.close()
+        assert stats["pools_reused"] > 0, "pool cache never hit on a repeating stream"
+        assert stats["pools_total"] == (
+            stats["pools_reused"] + stats["pools_prefix_reused"] + stats["pools_rebuilt"]
+        )
+        assert stats["chains_reused"] + stats["corridors_reused"] > 0
+        # Full mode reports the same schema, all-zero.
+        full = make_coordinator(4, epoch_mode="full")
+        try:
+            full_stats = full.shard_statistics()
+        finally:
+            full.close()
+        for key in (
+            "pools_total", "pools_reused", "pools_prefix_reused", "pools_rebuilt",
+            "chains_rewelded", "chains_reused", "corridors_patched",
+            "corridors_reused", "expiry_coalesced",
+        ):
+            assert full_stats[key] == 0
 
 
 def trace_deviation(expected, actual):

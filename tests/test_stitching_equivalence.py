@@ -51,6 +51,9 @@ def make_coordinator(
     window: int = 120,
     backend: str = "serial",
     stitching: str = "exact",
+    epoch_mode: str = "delta",
+    partition: str = "uniform",
+    rebalance_threshold: float = 2.0,
 ) -> Coordinator:
     return Coordinator(
         CoordinatorConfig(
@@ -60,6 +63,9 @@ def make_coordinator(
             num_shards=num_shards,
             backend=backend,
             stitching=stitching,
+            epoch_mode=epoch_mode,
+            partition=partition,
+            rebalance_threshold=rebalance_threshold,
         )
     )
 
@@ -234,6 +240,109 @@ class TestStitchingDifferential:
                 assert corridor_ids == hot_ids
             finally:
                 coordinator.close()
+
+
+class TestIncrementalStitching:
+    """``epoch_mode='delta'`` corridor maintenance vs the full rebuild.
+
+    The feedback streams weld consecutive paths end-to-start, so the
+    incremental stitcher's chain patching (insert welds, corridor-aware
+    expiry, re-welds at touched vertices) is exercised for real — and must
+    stay bit-for-bit equal to full mode's per-epoch global rebuild.
+    """
+
+    @pytest.mark.parametrize("seed", [3, 11, 42])
+    @pytest.mark.parametrize("num_shards", (1,) + SHARD_COUNTS)
+    def test_delta_stitched_trace_matches_full(self, num_shards, seed):
+        full_trace = drive_feedback(make_coordinator(num_shards, epoch_mode="full"), seed)
+        delta_trace = drive_feedback(make_coordinator(num_shards, epoch_mode="delta"), seed)
+        for epoch, (expected, actual) in enumerate(zip(full_trace, delta_trace)):
+            assert actual == expected, (
+                f"delta stitching diverged at epoch {epoch} (shards={num_shards})"
+            )
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_delta_stitching_on_parallel_backends_matches_full(self, backend):
+        full_trace = drive_feedback(make_coordinator(16, epoch_mode="full"), 11)
+        delta_trace = drive_feedback(
+            make_coordinator(16, backend=backend, epoch_mode="delta"), 11
+        )
+        for epoch, (expected, actual) in enumerate(zip(full_trace, delta_trace)):
+            assert actual == expected, f"{backend} delta stitching diverged at {epoch}"
+
+    @pytest.mark.parametrize("num_shards", (1,) + SHARD_COUNTS)
+    def test_delta_stitching_under_expiry_matches_full(self, num_shards):
+        """A short window tears welded chains down mid-replay: corridor-aware
+        expiry must remove exactly the expired fragments from their chains."""
+        full_trace = drive_feedback(
+            make_coordinator(num_shards, window=25, epoch_mode="full"), 42, epochs=10
+        )
+        delta = make_coordinator(num_shards, window=25, epoch_mode="delta")
+        delta_trace = []
+        try:
+            for outcome in feedback_epochs(delta, 42, epochs=10):
+                delta_trace.append(
+                    {
+                        "responses": outcome.responses,
+                        "corridors": corridor_snapshot(delta.hot_corridors()),
+                        "top_k_by_hotness": corridor_snapshot(delta.top_k_corridors(10)),
+                        "top_k_by_score": corridor_snapshot(
+                            delta.top_k_corridors(10, by_score=True)
+                        ),
+                    }
+                )
+        finally:
+            stats = delta.shard_statistics()
+            delta.close()
+        for epoch, (expected, actual) in enumerate(zip(full_trace, delta_trace)):
+            assert actual == expected, f"expiry delta stitching diverged at {epoch}"
+        assert stats["fragments_removed"] > 0, (
+            "window never removed a welded fragment — vacuous scenario"
+        )
+
+    def test_delta_stitching_with_kd_rebalance_matches_full(self):
+        """Chains survive partition migrations: the stitcher is keyed by path
+        geometry, and per-query ownership resolution follows the new owners."""
+        full_trace = drive_feedback(make_coordinator(16, epoch_mode="full"), 11)
+        delta = make_coordinator(
+            16, partition="kd", rebalance_threshold=1.2, epoch_mode="delta"
+        )
+        delta_trace = []
+        try:
+            for outcome in feedback_epochs(delta, 11):
+                delta_trace.append(
+                    {
+                        "responses": outcome.responses,
+                        "corridors": corridor_snapshot(delta.hot_corridors()),
+                        "top_k_by_hotness": corridor_snapshot(delta.top_k_corridors(10)),
+                        "top_k_by_score": corridor_snapshot(
+                            delta.top_k_corridors(10, by_score=True)
+                        ),
+                    }
+                )
+            rebalances = delta.router.rebalances
+        finally:
+            delta.close()
+        for epoch, (expected, actual) in enumerate(zip(full_trace, delta_trace)):
+            assert actual == expected, f"kd delta stitching diverged at {epoch}"
+        assert rebalances > 0, "no rebalance fired — vacuous scenario"
+
+    def test_incremental_counters_engage_on_feedback_streams(self):
+        """The welding workload must drive the patch path, not full rebuilds:
+        fragments enter chains, touched chains are re-welded, untouched
+        corridors are served from cache."""
+        coordinator = make_coordinator(16, epoch_mode="delta")
+        try:
+            for outcome in feedback_epochs(coordinator, 3):
+                coordinator.hot_corridors()
+            stats = coordinator.shard_statistics()
+        finally:
+            coordinator.close()
+        assert stats["fragments_added"] > 0
+        assert stats["chains_rewelded"] > 0
+        assert stats["corridors_reused"] > 0, (
+            "every corridor was rebuilt every epoch — no incrementality"
+        )
 
 
 def cut_at_shard_boundaries(
