@@ -38,6 +38,7 @@ from repro.experiments.figure9 import run_figure9, run_figure10
 from repro.experiments.report import ablation_rows_to_csv, write_experiment_bundle, write_sweep_csv
 from repro.core.geometry import Point, Rectangle
 from repro.coordinator.coordinator import Coordinator, CoordinatorConfig
+from repro.coordinator.columnar import KERNELS
 from repro.coordinator.delta import EPOCH_MODES
 from repro.coordinator.execution import BACKEND_NAMES
 from repro.coordinator.partition import PARTITION_KINDS
@@ -185,6 +186,17 @@ def build_parser() -> argparse.ArgumentParser:
             "on every result."
         ),
     )
+    run_parser.add_argument(
+        "--kernel", choices=KERNELS, default="columnar",
+        help=(
+            "coordinator geometry kernels: 'columnar' (default) runs the "
+            "vectorized numpy hot path — SoA grid-cell tables, batched "
+            "candidate scans, argmin overlap queries, and shared-memory epoch "
+            "shipments to process workers; 'object' is the scalar per-object "
+            "reference. Both kernels are bit-for-bit identical on every "
+            "result (without numpy, 'columnar' silently degrades to 'object')."
+        ),
+    )
     run_parser.add_argument("--seed", type=int, default=42)
     run_parser.add_argument("--network-nodes", type=int, default=10, help="grid nodes per axis")
     run_parser.add_argument("--area", type=float, default=4000.0, help="area side length in metres")
@@ -241,6 +253,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--epoch-mode", choices=EPOCH_MODES, default="delta",
         help="epoch pipeline of the served coordinator (see 'repro run --help')",
+    )
+    serve_parser.add_argument(
+        "--kernel", choices=KERNELS, default="columnar",
+        help="geometry kernels of the served coordinator (see 'repro run --help')",
     )
     serve_parser.add_argument(
         "--max-pending", type=int, default=100_000, metavar="N",
@@ -331,6 +347,7 @@ def _command_run(args: argparse.Namespace) -> int:
         partition=args.partition,
         rebalance_threshold=args.rebalance_threshold,
         epoch_mode=args.epoch_mode,
+        kernel=args.kernel,
         seed=args.seed,
         network_config=NetworkConfig(area_size=args.area, grid_nodes_per_axis=args.network_nodes),
     )
@@ -485,6 +502,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             epoch_length=args.epoch,
             rebalance_threshold=args.rebalance_threshold,
             epoch_mode=args.epoch_mode,
+            kernel=args.kernel,
             max_pending_updates=args.max_pending,
             bounds=Rectangle(Point(0.0, 0.0), Point(args.area, args.area)),
         )
@@ -496,6 +514,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             bounds=runner.bounds,
             window=runner.window,
             cells_per_axis=runner.cells_per_axis,
+            kernel=args.kernel,
         )
         equal = result.report == seed_snapshot
         print(
@@ -537,6 +556,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             partition=args.partition,
             rebalance_threshold=args.rebalance_threshold,
             epoch_mode=args.epoch_mode,
+            kernel=args.kernel,
         )
     )
     server = IngestionServer(

@@ -1,0 +1,543 @@
+"""Columnar (structure-of-arrays) kernels for the coordinator hot path.
+
+The scalar pipeline spends its epochs in per-object python geometry: grid-cell
+membership tests, closed-interval rectangle containment, FSA intersection
+scans and the region tie-break loops of the overlap queries.  This module
+flattens those inner loops into contiguous numpy arrays:
+
+* :class:`CellBlock` / :class:`ColumnarCellStore` — per-cell SoA endpoint
+  tables behind :class:`~repro.coordinator.grid_index.GridIndex`.  Each
+  occupied grid cell keeps parallel ``float64`` coordinate columns and
+  ``int64`` path-id columns, so one candidate query tests every entry of a
+  cell block in a handful of vectorized comparisons instead of a python loop
+  (the batched form of the Case 1 / Case 2 candidate scans).
+* :class:`RegionTable` — a lazily built SoA view over an
+  :class:`~repro.coordinator.overlaps.FsaOverlapStructure`'s region table.
+  The two overlap queries become masked lexicographic argmins whose final
+  tie-break key is the region's *insertion index*, reproducing the scalar
+  first-encountered-wins semantics bit for bit.
+* :class:`ShipmentRing` / :func:`decode_work_shipment` — the shared-memory
+  transport of :class:`~repro.coordinator.execution.ProcessBackend`: one
+  reusable ``multiprocessing.shared_memory`` block per worker carrying the
+  epoch's journal slice, candidate tasks and halo FSA pools as packed
+  ``int64``/``float64`` sections, so replicas read arrays instead of
+  unpickling per-record tuples.
+
+**Exactness.**  Every kernel is required to be bit-for-bit equal to the
+scalar reference (``kernel="object"``), which stays the pinned
+differential baseline exactly like ``--epoch-mode full`` does for the delta
+pipeline.  The equality argument is mechanical: coordinates are stored
+verbatim (python floats and ``float64`` are the same IEEE doubles, and
+``==`` / ``<=`` agree), areas are computed with the same two double
+multiplications, and wherever the scalar code breaks ties by encounter
+order the vectorized argmin carries the insertion index as its last sort
+key.  ``tests/test_columnar_equivalence.py`` enforces the contract over the
+full harness matrix and with hypothesis kernel-level suites.
+
+numpy is an optional dependency: without it :func:`resolve_kernel` silently
+degrades ``columnar`` to ``object`` so every configuration keeps working on
+a bare interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.geometry import Point, Rectangle
+
+try:  # pragma: no cover - exercised implicitly by every columnar test
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container bakes numpy in
+    _np = None
+
+__all__ = [
+    "KERNELS",
+    "HAVE_NUMPY",
+    "resolve_kernel",
+    "CellBlock",
+    "ColumnarCellStore",
+    "RegionTable",
+    "ShipmentRing",
+    "decode_work_shipment",
+    "close_attachments",
+]
+
+HAVE_NUMPY = _np is not None
+
+#: Values accepted by the ``kernel`` knob (config layers and ``--kernel``):
+#: ``object`` is the scalar per-object reference pipeline; ``columnar`` (the
+#: default) runs the vectorized kernels of this module, bit-for-bit equal.
+KERNELS: Tuple[str, ...] = ("object", "columnar")
+
+
+def resolve_kernel(kernel: str) -> str:
+    """Validate a kernel name, degrading ``columnar`` without numpy.
+
+    The fallback is deliberate rather than an error: the two kernels are
+    bit-for-bit equal, so a numpy-less interpreter silently running the
+    scalar reference is a performance change, never a behaviour change.
+    """
+    if kernel not in KERNELS:
+        raise ConfigurationError(
+            f"kernel must be one of {', '.join(KERNELS)}, got {kernel!r}"
+        )
+    if kernel == "columnar" and not HAVE_NUMPY:
+        return "object"
+    return kernel
+
+
+# ---------------------------------------------------------------------------
+# Grid-index cell blocks
+# ---------------------------------------------------------------------------
+
+_INITIAL_CAPACITY = 8
+
+
+class CellBlock:
+    """SoA endpoint table of one occupied grid cell.
+
+    Parallel capacity-doubling columns: ``pids`` / ``starts`` identify the
+    entry (the ``(path_id, is_start)`` key of the object kernel), ``ex, ey``
+    hold the indexed endpoint and ``ox, oy`` the path's other endpoint —
+    the same two points the scalar cell dict stores per entry.  ``_rows``
+    maps entry keys to row numbers for O(1) upsert/remove; removal swaps the
+    last row in, so the block is always dense in ``[0, count)``.
+    """
+
+    __slots__ = ("count", "pids", "starts", "ex", "ey", "ox", "oy", "_rows")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.pids = _np.empty(_INITIAL_CAPACITY, dtype=_np.int64)
+        self.starts = _np.empty(_INITIAL_CAPACITY, dtype=_np.bool_)
+        self.ex = _np.empty(_INITIAL_CAPACITY, dtype=_np.float64)
+        self.ey = _np.empty(_INITIAL_CAPACITY, dtype=_np.float64)
+        self.ox = _np.empty(_INITIAL_CAPACITY, dtype=_np.float64)
+        self.oy = _np.empty(_INITIAL_CAPACITY, dtype=_np.float64)
+        self._rows: Dict[Tuple[int, bool], int] = {}
+
+    def _grow(self) -> None:
+        capacity = len(self.pids) * 2
+        for name in ("pids", "starts", "ex", "ey", "ox", "oy"):
+            column = getattr(self, name)
+            grown = _np.empty(capacity, dtype=column.dtype)
+            grown[: self.count] = column[: self.count]
+            setattr(self, name, grown)
+
+    def upsert(self, key: Tuple[int, bool], endpoint: Point, other: Point) -> None:
+        """Insert or overwrite one entry (matches the scalar dict assignment)."""
+        row = self._rows.get(key)
+        if row is None:
+            if self.count == len(self.pids):
+                self._grow()
+            row = self.count
+            self.count += 1
+            self._rows[key] = row
+        self.pids[row] = key[0]
+        self.starts[row] = key[1]
+        self.ex[row] = endpoint.x
+        self.ey[row] = endpoint.y
+        self.ox[row] = other.x
+        self.oy[row] = other.y
+
+    def remove(self, key: Tuple[int, bool]) -> int:
+        """Drop one entry (swap-with-last); returns the remaining count."""
+        row = self._rows.pop(key, None)
+        if row is not None:
+            last = self.count - 1
+            if row != last:
+                moved_key = (int(self.pids[last]), bool(self.starts[last]))
+                for name in ("pids", "starts", "ex", "ey", "ox", "oy"):
+                    column = getattr(self, name)
+                    column[row] = column[last]
+                self._rows[moved_key] = row
+            self.count = last
+        return self.count
+
+    # -- vectorized candidate kernels ---------------------------------------
+
+    def start_matches(self, start: Point, region: Rectangle) -> List[int]:
+        """Case 1 kernel: start entries at ``start`` whose other endpoint is
+        inside ``region`` (closed containment, like the scalar reference)."""
+        n = self.count
+        mask = self.starts[:n] & (self.ex[:n] == start.x) & (self.ey[:n] == start.y)
+        mask &= (region.low.x <= self.ox[:n]) & (self.ox[:n] <= region.high.x)
+        mask &= (region.low.y <= self.oy[:n]) & (self.oy[:n] <= region.high.y)
+        return [int(pid) for pid in self.pids[:n][mask]]
+
+    def from_into_matches(self, start: Point, region: Rectangle) -> List[int]:
+        """End entries whose path starts at ``start`` and ends inside ``region``."""
+        n = self.count
+        mask = ~self.starts[:n] & (self.ox[:n] == start.x) & (self.oy[:n] == start.y)
+        mask &= (region.low.x <= self.ex[:n]) & (self.ex[:n] <= region.high.x)
+        mask &= (region.low.y <= self.ey[:n]) & (self.ey[:n] <= region.high.y)
+        return [int(pid) for pid in self.pids[:n][mask]]
+
+    def end_rows_in(self, region: Rectangle):
+        """Case 2 kernel: ``(path_ids, xs, ys)`` of end entries inside ``region``."""
+        n = self.count
+        mask = ~self.starts[:n]
+        mask &= (region.low.x <= self.ex[:n]) & (self.ex[:n] <= region.high.x)
+        mask &= (region.low.y <= self.ey[:n]) & (self.ey[:n] <= region.high.y)
+        rows = _np.flatnonzero(mask)
+        return self.pids[rows], self.ex[rows], self.ey[rows]
+
+    def endpoints_in(self, region: Rectangle):
+        """Path ids (row order, possibly repeated) with the indexed endpoint inside."""
+        n = self.count
+        mask = (region.low.x <= self.ex[:n]) & (self.ex[:n] <= region.high.x)
+        mask &= (region.low.y <= self.ey[:n]) & (self.ey[:n] <= region.high.y)
+        return self.pids[:n][mask]
+
+
+class ColumnarCellStore:
+    """The columnar counterpart of the grid index's cell dict.
+
+    Maps occupied cell keys to :class:`CellBlock` tables; empty blocks are
+    dropped so occupancy statistics mirror the scalar store.
+    """
+
+    __slots__ = ("blocks",)
+
+    def __init__(self) -> None:
+        self.blocks: Dict[Tuple[int, int], CellBlock] = {}
+
+    def upsert(
+        self,
+        cell: Tuple[int, int],
+        key: Tuple[int, bool],
+        endpoint: Point,
+        other: Point,
+    ) -> None:
+        block = self.blocks.get(cell)
+        if block is None:
+            block = self.blocks[cell] = CellBlock()
+        block.upsert(key, endpoint, other)
+
+    def remove(self, cell: Tuple[int, int], key: Tuple[int, bool]) -> None:
+        block = self.blocks.get(cell)
+        if block is not None and block.remove(key) == 0:
+            del self.blocks[cell]
+
+    def occupancy(self) -> List[int]:
+        return [block.count for block in self.blocks.values()]
+
+
+# ---------------------------------------------------------------------------
+# Overlap-structure region table
+# ---------------------------------------------------------------------------
+
+
+class RegionTable:
+    """SoA query accelerator over an overlap structure's region dict.
+
+    Built once per structure (lazily, invalidated by ``add``) from the
+    regions *in insertion order*; both queries keep that order as the last
+    lexicographic sort key, so the vectorized argmin reproduces the scalar
+    loops' first-encountered-wins tie-breaks exactly:
+
+    * smallest containing region — min by ``(area, -count, insertion index)``;
+    * hottest intersecting region — min by ``(-count, area, insertion index)``.
+    """
+
+    __slots__ = ("lx", "ly", "hx", "hy", "area", "neg_count", "members", "rects")
+
+    def __init__(self, regions: Dict) -> None:
+        n = len(regions)
+        self.members = list(regions.keys())
+        self.rects = list(regions.values())
+        self.lx = _np.empty(n, dtype=_np.float64)
+        self.ly = _np.empty(n, dtype=_np.float64)
+        self.hx = _np.empty(n, dtype=_np.float64)
+        self.hy = _np.empty(n, dtype=_np.float64)
+        self.neg_count = _np.empty(n, dtype=_np.int64)
+        for index, (members, rect) in enumerate(regions.items()):
+            self.lx[index] = rect.low.x
+            self.ly[index] = rect.low.y
+            self.hx[index] = rect.high.x
+            self.hy[index] = rect.high.y
+            self.neg_count[index] = -len(members)
+        # The same two IEEE multiplications Rectangle.area performs, so a
+        # float area tie in the scalar loop is a float area tie here too.
+        self.area = (self.hx - self.lx) * (self.hy - self.ly)
+
+    def smallest_containing(self, point: Point) -> Optional[int]:
+        """Index of the scalar winner of ``smallest_region_containing``."""
+        mask = (self.lx <= point.x) & (point.x <= self.hx)
+        mask &= (self.ly <= point.y) & (point.y <= self.hy)
+        rows = _np.flatnonzero(mask)
+        if rows.size == 0:
+            return None
+        order = _np.lexsort((rows, self.neg_count[rows], self.area[rows]))
+        return int(rows[order[0]])
+
+    def hottest_intersecting(self, fsa: Rectangle) -> Optional[int]:
+        """Index of the scalar winner of ``hottest_region_intersecting``."""
+        mask = (self.lx <= fsa.high.x) & (fsa.low.x <= self.hx)
+        mask &= (self.ly <= fsa.high.y) & (fsa.low.y <= self.hy)
+        rows = _np.flatnonzero(mask)
+        if rows.size == 0:
+            return None
+        order = _np.lexsort((rows, self.area[rows], self.neg_count[rows]))
+        return int(rows[order[0]])
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory epoch shipments (ProcessBackend transport)
+# ---------------------------------------------------------------------------
+#
+# Wire layout of one "work" shipment inside a worker's shared block: an
+# ``int64`` section followed by a ``float64`` section (the float offset is
+# the block's integer capacity, carried in the pipe header so parent and
+# worker never disagree about it).  Section order is fixed:
+#
+#   ints:   ops[n_ops, 4]      -- (tag, a, b, c); tag 0=insert, 1=delete,
+#                                  2=renumber; a/b/c are (path_id, shard,
+#                                  created_at) for inserts, (path_id, shard,
+#                                  0) for deletes, (old, new, shard) for
+#                                  renumbers
+#           tasks[n_tasks, 2]  -- (position, shard_id)
+#           pools[n_pools, 2]  -- (pool_index, member_count)
+#           members[n_entries] -- object ids, pool-concatenated
+#   floats: ops[n_ops, 4]      -- (sx, sy, ex, ey) for inserts, zeros else
+#           tasks[n_tasks, 6]  -- (sx, sy, flx, fly, fhx, fhy)
+#           members[n_entries, 4] -- FSA (lx, ly, hx, hy), pool-concatenated
+#
+# The pipe still carries a small header per shipment (and all replies), so
+# it keeps providing the happens-before edge between the parent's writes
+# and the worker's reads; the block itself is plain memory.
+
+_OP_TAGS = {"i": 0, "d": 1, "r": 2}
+
+
+def _shipment_sizes(ops, tasks, overlap_tasks) -> Tuple[int, int, int, int, int, int]:
+    n_ops = len(ops)
+    n_tasks = len(tasks)
+    n_pools = len(overlap_tasks)
+    n_entries = sum(len(members) for _pool_index, members in overlap_tasks)
+    ints = 4 * n_ops + 2 * n_tasks + 2 * n_pools + n_entries
+    floats = 4 * n_ops + 6 * n_tasks + 4 * n_entries
+    return n_ops, n_tasks, n_pools, n_entries, ints, floats
+
+
+class ShipmentRing:
+    """One worker's reusable shared-memory shipment block (parent side).
+
+    Grows geometrically and is reused across epochs, so the steady state
+    allocates nothing: the parent packs each epoch's journal slice, candidate
+    tasks and cache-missed halo pools into the existing block and ships a
+    constant-size header over the pipe.  ``pack`` returns that header;
+    :func:`decode_work_shipment` is its worker-side inverse.
+    """
+
+    __slots__ = ("_shm", "_int_capacity", "_float_capacity")
+
+    def __init__(self) -> None:
+        self._shm = None
+        self._int_capacity = 0
+        self._float_capacity = 0
+
+    def _ensure_capacity(self, ints: int, floats: int) -> None:
+        if self._shm is not None and ints <= self._int_capacity and floats <= self._float_capacity:
+            return
+        from multiprocessing import shared_memory
+
+        int_capacity = max(self._int_capacity * 2, ints, 256)
+        float_capacity = max(self._float_capacity * 2, floats, 256)
+        if self._shm is not None:
+            self.close(unlink=True)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=8 * (int_capacity + float_capacity)
+        )
+        self._int_capacity = int_capacity
+        self._float_capacity = float_capacity
+
+    def pack(self, ops, tasks, overlap_tasks) -> tuple:
+        """Write one epoch shipment; returns the ``("work_shm", ...)`` header."""
+        n_ops, n_tasks, n_pools, n_entries, ints, floats = _shipment_sizes(
+            ops, tasks, overlap_tasks
+        )
+        self._ensure_capacity(ints, floats)
+        int_view = _np.ndarray(
+            (self._int_capacity,), dtype=_np.int64, buffer=self._shm.buf
+        )
+        float_view = _np.ndarray(
+            (self._float_capacity,),
+            dtype=_np.float64,
+            buffer=self._shm.buf,
+            offset=8 * self._int_capacity,
+        )
+        cursor = 0
+        op_ints = int_view[cursor : cursor + 4 * n_ops].reshape(n_ops, 4)
+        cursor += 4 * n_ops
+        task_ints = int_view[cursor : cursor + 2 * n_tasks].reshape(n_tasks, 2)
+        cursor += 2 * n_tasks
+        pool_ints = int_view[cursor : cursor + 2 * n_pools].reshape(n_pools, 2)
+        cursor += 2 * n_pools
+        member_ints = int_view[cursor : cursor + n_entries]
+        cursor = 0
+        op_floats = float_view[cursor : cursor + 4 * n_ops].reshape(n_ops, 4)
+        cursor += 4 * n_ops
+        task_floats = float_view[cursor : cursor + 6 * n_tasks].reshape(n_tasks, 6)
+        cursor += 6 * n_tasks
+        member_floats = float_view[cursor : cursor + 4 * n_entries].reshape(n_entries, 4)
+
+        for row, op in enumerate(ops):
+            tag = _OP_TAGS[op[0]]
+            if tag == 0:
+                _t, path_id, shard_id, s_x, s_y, e_x, e_y, created_at = op
+                op_ints[row] = (0, path_id, shard_id, created_at)
+                op_floats[row] = (s_x, s_y, e_x, e_y)
+            elif tag == 1:
+                op_ints[row] = (1, op[1], op[2], 0)
+                op_floats[row] = 0.0
+            else:
+                op_ints[row] = (2, op[1], op[2], op[3])
+                op_floats[row] = 0.0
+        for row, task in enumerate(tasks):
+            task_ints[row] = task[:2]
+            task_floats[row] = task[2:]
+        entry = 0
+        for row, (pool_index, members) in enumerate(overlap_tasks):
+            pool_ints[row] = (pool_index, len(members))
+            for object_id, f_lx, f_ly, f_hx, f_hy in members:
+                member_ints[entry] = object_id
+                member_floats[entry] = (f_lx, f_ly, f_hx, f_hy)
+                entry += 1
+        return (
+            "work_shm",
+            self._shm.name,
+            self._int_capacity,
+            n_ops,
+            n_tasks,
+            n_pools,
+            n_entries,
+        )
+
+    def close(self, unlink: bool = True) -> None:
+        """Release the block (and destroy it with ``unlink=True``)."""
+        if self._shm is None:
+            return
+        try:
+            self._shm.close()
+            if unlink:
+                self._shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - defensive
+            pass
+        self._shm = None
+        self._int_capacity = 0
+        self._float_capacity = 0
+
+
+def _attach(name: str, attachments: Dict[str, object]):
+    """Worker-side attach with caching; unregisters from the resource tracker.
+
+    Attaching registers the segment with ``multiprocessing.resource_tracker``,
+    which would unlink it when this worker exits even though the parent still
+    owns it (bpo-39959); ownership stays with the parent's
+    :class:`ShipmentRing`, so the attachment is unregistered right away.
+    """
+    shm = attachments.get(name)
+    if shm is None:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        try:  # pragma: no cover - tracker layout is an implementation detail
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        # A reallocation (new name) replaces the ring wholesale, so stale
+        # attachments can be dropped as soon as a new name arrives.
+        for stale in list(attachments.values()):
+            try:
+                stale.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        attachments.clear()
+        attachments[name] = shm
+    return shm
+
+
+def decode_work_shipment(header: Sequence, attachments: Dict[str, object]):
+    """Worker-side inverse of :meth:`ShipmentRing.pack`.
+
+    Returns ``(ops, tasks, overlap_tasks)`` in exactly the shapes the pickled
+    pipe protocol ships, so the worker loop downstream of the decode is
+    transport-agnostic.
+    """
+    _kind, name, int_capacity, n_ops, n_tasks, n_pools, n_entries = header
+    shm = _attach(name, attachments)
+    int_view = _np.ndarray((int_capacity,), dtype=_np.int64, buffer=shm.buf)
+    ints = 4 * n_ops + 2 * n_tasks + 2 * n_pools + n_entries
+    floats = 4 * n_ops + 6 * n_tasks + 4 * n_entries
+    float_view = _np.ndarray(
+        (floats,), dtype=_np.float64, buffer=shm.buf, offset=8 * int_capacity
+    )
+    cursor = 0
+    op_ints = int_view[cursor : cursor + 4 * n_ops].reshape(n_ops, 4)
+    cursor += 4 * n_ops
+    task_ints = int_view[cursor : cursor + 2 * n_tasks].reshape(n_tasks, 2)
+    cursor += 2 * n_tasks
+    pool_ints = int_view[cursor : cursor + 2 * n_pools].reshape(n_pools, 2)
+    cursor += 2 * n_pools
+    member_ints = int_view[cursor : cursor + n_entries]
+    cursor = 0
+    op_floats = float_view[cursor : cursor + 4 * n_ops].reshape(n_ops, 4)
+    cursor += 4 * n_ops
+    task_floats = float_view[cursor : cursor + 6 * n_tasks].reshape(n_tasks, 6)
+    cursor += 6 * n_tasks
+    member_floats = float_view[cursor : cursor + 4 * n_entries].reshape(n_entries, 4)
+
+    ops = []
+    for row in range(n_ops):
+        tag, a, b, c = (int(value) for value in op_ints[row])
+        if tag == 0:
+            s_x, s_y, e_x, e_y = (float(value) for value in op_floats[row])
+            ops.append(("i", a, b, s_x, s_y, e_x, e_y, c))
+        elif tag == 1:
+            ops.append(("d", a, b))
+        else:
+            ops.append(("r", a, b, c))
+    tasks = [
+        (
+            int(task_ints[row, 0]),
+            int(task_ints[row, 1]),
+            float(task_floats[row, 0]),
+            float(task_floats[row, 1]),
+            float(task_floats[row, 2]),
+            float(task_floats[row, 3]),
+            float(task_floats[row, 4]),
+            float(task_floats[row, 5]),
+        )
+        for row in range(n_tasks)
+    ]
+    overlap_tasks = []
+    entry = 0
+    for row in range(n_pools):
+        pool_index, member_count = int(pool_ints[row, 0]), int(pool_ints[row, 1])
+        members = [
+            (
+                int(member_ints[entry + offset]),
+                float(member_floats[entry + offset, 0]),
+                float(member_floats[entry + offset, 1]),
+                float(member_floats[entry + offset, 2]),
+                float(member_floats[entry + offset, 3]),
+            )
+            for offset in range(member_count)
+        ]
+        entry += member_count
+        overlap_tasks.append((pool_index, members))
+    return ops, tasks, overlap_tasks
+
+
+def close_attachments(attachments: Dict[str, object]) -> None:
+    """Worker-side cleanup on shutdown."""
+    for shm in attachments.values():
+        try:
+            shm.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+    attachments.clear()

@@ -22,8 +22,10 @@ from repro.core.geometry import Rectangle
 from repro.core.motion_path import MotionPathRecord
 from repro.core.scoring import ScoredPath, select_top_k, top_k_score
 from repro.client.state import CoordinatorResponse, ObjectState
+from repro.coordinator.columnar import KERNELS, resolve_kernel
 from repro.coordinator.delta import EPOCH_MODES, EpochDelta
 from repro.coordinator.execution import BACKEND_NAMES
+from repro.coordinator.overlaps import OverlapPoolCache
 from repro.coordinator.grid_index import GridConfig, GridIndex
 from repro.coordinator.hotness import HotnessTracker
 from repro.coordinator.sharding import PARTITION_KINDS, ShardRouter
@@ -94,6 +96,15 @@ class CoordinatorConfig:
     required to be bit-for-bit equal on every observable — responses, index,
     hotness, overlap answers, corridor report — which the differential
     harnesses enforce per epoch.
+
+    ``kernel`` selects the geometry kernel of the hot path
+    (:mod:`repro.coordinator.columnar`): ``columnar`` (the default) answers
+    the grid-index candidate scans and overlap-region queries from
+    vectorized numpy SoA tables and moves the process backend's epoch
+    shipments onto shared memory; ``object`` is the scalar per-object
+    reference, kept as the pinned bit-for-bit baseline exactly like
+    ``epoch_mode="full"``.  Without numpy, ``columnar`` silently degrades
+    to the scalar kernel (same answers, scalar speed).
     """
 
     bounds: Rectangle
@@ -106,6 +117,7 @@ class CoordinatorConfig:
     partition: str = "uniform"
     rebalance_threshold: float = 2.0
     epoch_mode: str = "delta"
+    kernel: str = "columnar"
 
     def __post_init__(self) -> None:
         if self.window <= 0:
@@ -137,6 +149,10 @@ class CoordinatorConfig:
             raise ConfigurationError(
                 f"epoch_mode must be one of {', '.join(EPOCH_MODES)}, got {self.epoch_mode!r}"
             )
+        if self.kernel not in KERNELS:
+            raise ConfigurationError(
+                f"kernel must be one of {', '.join(KERNELS)}, got {self.kernel!r}"
+            )
 
 
 @dataclass
@@ -164,11 +180,25 @@ class Coordinator:
 
     def __init__(self, config: CoordinatorConfig) -> None:
         self.config = config
+        kernel = resolve_kernel(config.kernel)
         if config.num_shards == 1:
             self.router = None
-            self.index = GridIndex(GridConfig(config.bounds, config.cells_per_axis))
+            self.index = GridIndex(
+                GridConfig(config.bounds, config.cells_per_axis), kernel=kernel
+            )
             self.hotness = HotnessTracker(config.window)
-            self.strategy = SinglePathStrategy(self.index, self.hotness)
+            # Delta mode runs the single "pool" (the epoch's full FSA map)
+            # through the same cross-epoch cache protocol the sharded router
+            # uses, so the pools_* delta counters mean the same thing at
+            # every fleet size.
+            self._pool_cache: Optional[OverlapPoolCache] = (
+                OverlapPoolCache(kernel=kernel)
+                if config.epoch_mode == "delta"
+                else None
+            )
+            self.strategy = SinglePathStrategy(
+                self.index, self.hotness, kernel=kernel, pool_cache=self._pool_cache
+            )
             if config.epoch_mode == "delta":
                 self.hotness.enable_delta_log()
                 self._stitcher: Optional[IncrementalStitcher] = IncrementalStitcher()
@@ -189,10 +219,12 @@ class Coordinator:
                 partition=config.partition,
                 rebalance_threshold=config.rebalance_threshold,
                 epoch_mode=config.epoch_mode,
+                kernel=kernel,
             )
             self.index = self.router.index
             self.hotness = self.router.hotness
             self.strategy = self.router.pipeline
+            self._pool_cache = None  # the router owns the pool cache
             self._stitcher = None  # the router owns the incremental stitcher
         self._pending_states: List[ObjectState] = []
         self._corridor_cache: Optional[List[CompositeCorridor]] = None
@@ -294,7 +326,10 @@ class Coordinator:
             pool_stats = self.router.last_pool_stats
             renumbered = self.router.last_renumbered
         else:
-            pool_stats = ShardRouter.zero_pool_stats()
+            # The single-shard strategy runs its one pool per epoch through
+            # the same cache protocol as the sharded pipeline, so its
+            # counters slot straight in (serial commits never renumber).
+            pool_stats = self.strategy.last_pool_stats
             renumbered = 0
         return EpochDelta(
             timestamp=now,
@@ -322,21 +357,21 @@ class Coordinator:
         """Load-balance diagnostics; a single-shard coordinator reports one shard."""
         if self.router is not None:
             return self.router.shard_statistics()
-        size = float(len(self.index))
+        # The single-shard fallback reports the exact schema (and types) of
+        # the sharded path: record counts are ints with a float mean, and
+        # the delta counters carry the pool cache's and the stitcher's live
+        # lifetime totals — the same semantics a 1-shard fleet reports, not
+        # hardcoded zeros (pinned by tests/test_rebalancing.py).
+        size = len(self.index)
         statistics = {
             "num_shards": 1,
             "total_records": size,
             "max_shard_records": size,
             "min_shard_records": size,
-            "mean_shard_records": size,
+            "mean_shard_records": float(size),
             "imbalance": 1.0,
             "straddling_paths": 0,
             "rebalances": 0,
-            # Delta-pipeline counters, mirroring the sharded schema.  A
-            # single-shard coordinator has no halo pools, so the pool
-            # counters stay zero; the stitcher counters are live in delta
-            # mode (the corridor report is maintained incrementally there
-            # too).
             "pools_total": 0,
             "pools_reused": 0,
             "pools_prefix_reused": 0,
@@ -349,6 +384,15 @@ class Coordinator:
             "corridors_patched": 0,
             "corridors_reused": 0,
         }
+        if self._pool_cache is not None:
+            statistics["pools_reused"] = self._pool_cache.reused
+            statistics["pools_prefix_reused"] = self._pool_cache.prefix_reused
+            statistics["pools_rebuilt"] = self._pool_cache.rebuilt
+            statistics["pools_total"] = (
+                self._pool_cache.reused
+                + self._pool_cache.prefix_reused
+                + self._pool_cache.rebuilt
+            )
         if self._stitcher is not None:
             statistics.update(self._stitcher.totals)
         return statistics

@@ -132,6 +132,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.core.errors import ConfigurationError
 from repro.core.geometry import Rectangle
 from repro.client.state import ObjectState
+from repro.coordinator.columnar import HAVE_NUMPY, ShipmentRing
 from repro.coordinator.overlaps import FsaOverlapStructure, build_structures
 from repro.coordinator.single_path import CandidatePath, SinglePathDecision
 from repro.coordinator.stitching import StitchFragment, weld_runs
@@ -328,7 +329,9 @@ class SerialBackend(ExecutionBackend):
 
     def map_candidate_buckets(self, router, buckets, states, overlap_pools=()):
         per_state = self._candidates_inline(router, buckets, states)
-        return per_state, build_structures(overlap_pools)
+        return per_state, build_structures(
+            overlap_pools, kernel=getattr(router, "kernel", "object")
+        )
 
 
 class ThreadBackend(ExecutionBackend):
@@ -367,6 +370,7 @@ class ThreadBackend(ExecutionBackend):
     def map_candidate_buckets(self, router, buckets, states, overlap_pools=()):
         pool = self._ensure_pool()
         per_state: List[Optional[List[CandidatePath]]] = [None] * len(states)
+        kernel = getattr(router, "kernel", "object")
 
         def run_buckets(items):
             answers = []
@@ -378,7 +382,9 @@ class ThreadBackend(ExecutionBackend):
             return answers
 
         def run_builds(items):
-            built = build_structures([fsa_pool for _index, fsa_pool in items])
+            built = build_structures(
+                [fsa_pool for _index, fsa_pool in items], kernel=kernel
+            )
             return [(index, structure) for (index, _), structure in zip(items, built)]
 
         # Candidate chunks and overlap builds share the pool; both are
@@ -431,7 +437,7 @@ class ThreadBackend(ExecutionBackend):
             self._pool = None
 
 
-def _process_worker_main(connection, shard_configs, snapshot_ops) -> None:
+def _process_worker_main(connection, shard_configs, snapshot_ops, kernel="object") -> None:
     """Worker loop of :class:`ProcessBackend` (runs in the child process).
 
     Maintains a replica of the *start-entry* grid index of each shard this
@@ -443,8 +449,15 @@ def _process_worker_main(connection, shard_configs, snapshot_ops) -> None:
     parent ships (flat float tuples in pool order) and returns them as
     serialized region lists — region order is part of the answer, because
     first-encountered tie-breaks in the overlap queries depend on it.
+
+    Work shipments arrive either pickled over the pipe (``"work"``, the
+    object-kernel reference transport) or as a ``"work_shm"`` header naming
+    the parent's shared-memory block (columnar kernel), decoded into the
+    exact same python shapes before the common loop below — the transport
+    is invisible to the replica logic.
     """
     from repro.core.geometry import Point, Rectangle
+    from repro.coordinator.columnar import close_attachments, decode_work_shipment
     from repro.coordinator.grid_index import GridConfig, GridIndex
     from repro.coordinator.overlaps import build_structures as _build_structures
     from repro.coordinator.stitching import weld_runs as _weld_runs
@@ -453,7 +466,8 @@ def _process_worker_main(connection, shard_configs, snapshot_ops) -> None:
     replicas: Dict[int, GridIndex] = {}
     for shard_id, (b_lx, b_ly, b_hx, b_hy), cells in shard_configs:
         bounds = Rectangle(Point(b_lx, b_ly), Point(b_hx, b_hy))
-        replicas[shard_id] = GridIndex(GridConfig(bounds, cells))
+        replicas[shard_id] = GridIndex(GridConfig(bounds, cells), kernel=kernel)
+    attachments: Dict[str, object] = {}
 
     def apply(ops) -> None:
         for op in ops:
@@ -484,6 +498,7 @@ def _process_worker_main(connection, shard_configs, snapshot_ops) -> None:
         message = connection.recv()
         kind = message[0]
         if kind == "stop":
+            close_attachments(attachments)
             connection.close()
             return
         if kind == "stitch":
@@ -495,7 +510,10 @@ def _process_worker_main(connection, shard_configs, snapshot_ops) -> None:
                 runs.extend(_weld_runs(fragments))
             connection.send(runs)
             continue
-        _kind, ops, tasks, overlap_tasks = message
+        if kind == "work_shm":
+            ops, tasks, overlap_tasks = decode_work_shipment(message, attachments)
+        else:
+            _kind, ops, tasks, overlap_tasks = message
         apply(ops)
         answers = []
         for position, shard_id, s_x, s_y, f_lx, f_ly, f_hx, f_hy in tasks:
@@ -513,7 +531,7 @@ def _process_worker_main(connection, shard_configs, snapshot_ops) -> None:
         overlap_answers = [
             (pool_index, structure.serialized())
             for (pool_index, _members), structure in zip(
-                overlap_tasks, _build_structures(pools)
+                overlap_tasks, _build_structures(pools, kernel=kernel)
             )
         ]
         connection.send((answers, overlap_answers))
@@ -552,9 +570,16 @@ class ProcessBackend(ExecutionBackend):
         self._journal_seqs: List[int] = []
         self._assignment: Dict[int, int] = {}
         self._decision_pool = ThreadBackend(workers)
+        self._rings: List[ShipmentRing] = []
         #: Workers respawned after dying (killed, crashed, or restarted
         #: explicitly) — excludes ordinary spawns and rebalance respawns.
         self.worker_restarts = 0
+        #: Epoch shipments delivered through shared memory, and shipments
+        #: that fell back to the pickled pipe because the block could not be
+        #: (re)allocated.  Respawn and re-answer sends are always pickled —
+        #: they are rare, and inline shipping keeps recovery self-contained.
+        self.shm_shipments = 0
+        self.shm_fallbacks = 0
 
     # -- worker lifecycle -------------------------------------------------------
 
@@ -652,11 +677,12 @@ class ProcessBackend(ExecutionBackend):
                 )
             )
         journal_seq = len(router.journal)
+        kernel = getattr(router, "kernel", "object")
         for worker in range(workers):
             parent_conn, child_conn = context.Pipe()
             process = context.Process(
                 target=_process_worker_main,
-                args=(child_conn, shard_configs[worker], snapshot_ops[worker]),
+                args=(child_conn, shard_configs[worker], snapshot_ops[worker], kernel),
                 daemon=True,
             )
             process.start()
@@ -664,6 +690,7 @@ class ProcessBackend(ExecutionBackend):
             self._processes.append(process)
             self._connections.append(parent_conn)
             self._journal_seqs.append(journal_seq)
+            self._rings.append(ShipmentRing())
 
     def _worker_of(self, shard_id: int) -> int:
         return self._assignment[shard_id]
@@ -778,7 +805,7 @@ class ProcessBackend(ExecutionBackend):
         parent_conn, child_conn = context.Pipe()
         replacement = context.Process(
             target=_process_worker_main,
-            args=(child_conn, shard_configs, snapshot_ops),
+            args=(child_conn, shard_configs, snapshot_ops, getattr(router, "kernel", "object")),
             daemon=True,
         )
         replacement.start()
@@ -838,7 +865,12 @@ class ProcessBackend(ExecutionBackend):
         # fresh even on idle epochs) together with its shard buckets and
         # overlap pools.  A dead worker (killed, crashed) is respawned from
         # a live-state snapshot first — the snapshot subsumes its journal
-        # slice, so the replacement is sent an empty one.
+        # slice, so the replacement is sent an empty one.  Under the
+        # columnar kernel the shipment is packed into the worker's shared
+        # block and only a constant-size header crosses the pipe (the
+        # header send is the happens-before edge; the worker decodes before
+        # answering, so the block is never read and rewritten concurrently).
+        use_shm = HAVE_NUMPY and getattr(router, "kernel", "object") == "columnar"
         for worker in range(len(self._connections)):
             if not self._processes[worker].is_alive():
                 self._respawn_worker(worker, router)
@@ -849,10 +881,24 @@ class ProcessBackend(ExecutionBackend):
                     for op in journal[self._journal_seqs[worker] : journal_length]
                     if self._assignment[self._op_shard(op)] == worker
                 ]
-            try:
-                self._connections[worker].send(
-                    ("work", ops, tasks_per_worker[worker], overlap_tasks_per_worker[worker])
+            payload = None
+            if use_shm:
+                try:
+                    payload = self._rings[worker].pack(
+                        ops, tasks_per_worker[worker], overlap_tasks_per_worker[worker]
+                    )
+                    self.shm_shipments += 1
+                except (OSError, ValueError):
+                    # Block (re)allocation failed (e.g. /dev/shm exhausted):
+                    # the pickled pipe carries identical content, so degrade
+                    # per-shipment and keep counting.
+                    self.shm_fallbacks += 1
+            if payload is None:
+                payload = (
+                    "work", ops, tasks_per_worker[worker], overlap_tasks_per_worker[worker]
                 )
+            try:
+                self._connections[worker].send(payload)
             except (BrokenPipeError, OSError):
                 self._respawn_worker(worker, router)
                 self._connections[worker].send(
@@ -868,6 +914,7 @@ class ProcessBackend(ExecutionBackend):
         per_state: List[Optional[List[CandidatePath]]] = [None] * len(states)
         structures: List[Optional[FsaOverlapStructure]] = [None] * len(overlap_pools)
         index, hotness = router.index, router.hotness
+        kernel = getattr(router, "kernel", "object")
         for worker in range(len(self._connections)):
             try:
                 answers, overlap_answers = self._connections[worker].recv()
@@ -887,7 +934,9 @@ class ProcessBackend(ExecutionBackend):
                     for path_id in path_ids
                 ]
             for pool_index, regions in overlap_answers:
-                structures[pool_index] = FsaOverlapStructure.from_serialized(regions)
+                structures[pool_index] = FsaOverlapStructure.from_serialized(
+                    regions, kernel=kernel
+                )
         return per_state, structures
 
     def map_decision_groups(self, groups, commit):
@@ -937,10 +986,13 @@ class ProcessBackend(ExecutionBackend):
             process.join(timeout=5)
             if process.is_alive():  # pragma: no cover - defensive cleanup
                 process.terminate()
+        for ring in self._rings:
+            ring.close(unlink=True)
         self._processes = []
         self._connections = []
         self._journal_seqs = []
         self._assignment = {}
+        self._rings = []
 
     def on_rebalance(self) -> None:
         """Discard the replica fleet: shard bounds, record placement and the

@@ -36,6 +36,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tupl
 from repro.core.errors import ConfigurationError, CoordinatorError
 from repro.core.geometry import Point, Rectangle
 from repro.core.motion_path import MotionPath, MotionPathRecord
+from repro.coordinator.columnar import ColumnarCellStore, resolve_kernel
 
 __all__ = ["GridConfig", "GridIndex"]
 
@@ -73,12 +74,22 @@ class GridIndex:
         self,
         config: GridConfig,
         record_resolver: Optional[Callable[[int], Optional[MotionPathRecord]]] = None,
+        kernel: str = "object",
     ) -> None:
         self.config = config
         self._cell_width = config.bounds.width / config.cells_per_axis
         self._cell_height = config.bounds.height / config.cells_per_axis
+        # ``object`` keeps entries in per-cell dicts (the scalar reference);
+        # ``columnar`` keeps them in per-cell SoA blocks and answers the
+        # queries below with vectorized kernels — bit-for-bit equal (see
+        # :mod:`repro.coordinator.columnar`).  The default stays ``object``
+        # at this layer: the coordinator config flips it fleet-wide.
+        self.kernel = resolve_kernel(kernel)
         # cell -> {(path_id, is_start) -> (indexed endpoint, other endpoint)}
         self._cells: Dict[Tuple[int, int], Dict[EntryKey, Entry]] = {}
+        self._columnar: Optional[ColumnarCellStore] = (
+            ColumnarCellStore() if self.kernel == "columnar" else None
+        )
         # path_id -> record, for direct lookups and deletion.
         self._records: Dict[int, MotionPathRecord] = {}
         self._next_path_id = 0
@@ -147,6 +158,11 @@ class GridIndex:
             endpoint, other = record.path.start, record.path.end
         else:
             endpoint, other = record.path.end, record.path.start
+        if self._columnar is not None:
+            self._columnar.upsert(
+                self._cell_of(endpoint), (record.path_id, is_start), endpoint, other
+            )
+            return
         self._cells.setdefault(self._cell_of(endpoint), {})[
             (record.path_id, is_start)
         ] = (endpoint, other)
@@ -154,6 +170,9 @@ class GridIndex:
     def remove_entry(self, path_id: int, endpoint: Point, is_start: bool) -> None:
         """Remove one endpoint entry, dropping its cell when it becomes empty."""
         key = self._cell_of(endpoint)
+        if self._columnar is not None:
+            self._columnar.remove(key, (path_id, is_start))
+            return
         cell = self._cells.get(key)
         if cell is not None:
             cell.pop((path_id, is_start), None)
@@ -169,6 +188,11 @@ class GridIndex:
         independent of the query rectangle's size — this is the hot-loop form
         of the Case 1 candidate query.
         """
+        if self._columnar is not None:
+            block = self._columnar.blocks.get(self._cell_of(start))
+            if block is None:
+                return []
+            return [self._record_of(pid) for pid in block.start_matches(start, region)]
         cell = self._cells.get(self._cell_of(start))
         results: List[MotionPathRecord] = []
         if cell:
@@ -184,6 +208,16 @@ class GridIndex:
         chaining guarantees that a reporting object's SSA start coincides with
         the endpoint the coordinator previously assigned to it.
         """
+        if self._columnar is not None:
+            results = []
+            for cell_key in self._cells_overlapping(region):
+                block = self._columnar.blocks.get(cell_key)
+                if block is not None:
+                    results.extend(
+                        self._record_of(pid)
+                        for pid in block.from_into_matches(start, region)
+                    )
+            return results
         results: List[MotionPathRecord] = []
         for (path_id, is_start), (endpoint, other) in self._entries_in(region):
             if is_start:
@@ -195,6 +229,15 @@ class GridIndex:
     def end_vertices_in(self, region: Rectangle) -> Dict[Point, List[int]]:
         """Distinct end vertices inside ``region`` mapped to the ids of paths ending there."""
         vertices: Dict[Point, List[int]] = {}
+        if self._columnar is not None:
+            for cell_key in self._cells_overlapping(region):
+                block = self._columnar.blocks.get(cell_key)
+                if block is None:
+                    continue
+                pids, xs, ys = block.end_rows_in(region)
+                for pid, x, y in zip(pids, xs, ys):
+                    vertices.setdefault(Point(float(x), float(y)), []).append(int(pid))
+            return vertices
         for (path_id, is_start), (endpoint, _other) in self._entries_in(region):
             if is_start:
                 continue
@@ -210,6 +253,17 @@ class GridIndex:
         """
         seen: Set[int] = set()
         results: List[MotionPathRecord] = []
+        if self._columnar is not None:
+            for cell_key in self._cells_overlapping(region):
+                block = self._columnar.blocks.get(cell_key)
+                if block is None:
+                    continue
+                for pid in block.endpoints_in(region):
+                    path_id = int(pid)
+                    if path_id not in seen:
+                        seen.add(path_id)
+                        results.append(self._record_of(path_id))
+            return results
         for (path_id, _is_start), (endpoint, _other) in self._entries_in(region):
             if path_id in seen:
                 continue
@@ -246,7 +300,10 @@ class GridIndex:
 
     def cell_statistics(self) -> Dict[str, float]:
         """Occupancy statistics of the grid, useful for the resolution ablation."""
-        occupied = [len(cell) for cell in self._cells.values()]
+        if self._columnar is not None:
+            occupied = self._columnar.occupancy()
+        else:
+            occupied = [len(cell) for cell in self._cells.values()]
         total_cells = self.config.cells_per_axis ** 2
         if not occupied:
             return {

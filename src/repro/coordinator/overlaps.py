@@ -37,6 +37,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 
 from repro.core.errors import ConfigurationError
 from repro.core.geometry import Point, Rectangle
+from repro.coordinator.columnar import RegionTable, resolve_kernel
 
 __all__ = [
     "OverlapRegion",
@@ -117,13 +118,26 @@ class OverlapRegion:
 class FsaOverlapStructure:
     """The ``R_all`` structure of Algorithm 2: FSAs and their overlaps with counts."""
 
-    def __init__(self, max_regions: int = 10000) -> None:
+    #: Region count below which the columnar kernel answers queries with the
+    #: scalar loops anyway: building (or consulting) an array table for a
+    #: handful of regions costs more than it saves, and both paths are
+    #: bit-for-bit equal so the crossover is purely a performance knob.
+    _COLUMNAR_MIN_REGIONS = 8
+
+    def __init__(self, max_regions: int = 10000, kernel: str = "object") -> None:
         # Hard cap on the number of stored regions, guarding against
         # pathological inputs where thousands of FSAs overlap pairwise; the
         # cap trades a little candidate quality for bounded per-epoch work.
         # ``len(self) <= max_regions`` always holds (see :meth:`add`).
         self._max_regions = max_regions
         self._regions: Dict[FrozenSet[int], Rectangle] = {}
+        self._kernel = resolve_kernel(kernel)
+        # Lazily built columnar query table (see
+        # :class:`repro.coordinator.columnar.RegionTable`).  Mutable derived
+        # state: invalidated by :meth:`add` and *never* shared by
+        # :meth:`snapshot` — a snapshot aliasing a live table would serve
+        # regions its own dict no longer matches once either copy grows.
+        self._table: Optional[RegionTable] = None
 
     @classmethod
     def build(
@@ -132,6 +146,7 @@ class FsaOverlapStructure:
         max_regions: int = 10000,
         base: Optional["FsaOverlapStructure"] = None,
         cache: Optional[DerivedRegionCache] = None,
+        kernel: str = "object",
     ) -> "FsaOverlapStructure":
         """Build the structure from ``object_id -> FSA`` of all reporting objects.
 
@@ -143,14 +158,21 @@ class FsaOverlapStructure:
         :class:`DerivedRegionCache`); it never changes the result, only skips
         recomputing intersections another pool already derived.
         """
-        structure = base.snapshot() if base is not None else cls(max_regions)
+        structure = base.snapshot() if base is not None else cls(max_regions, kernel=kernel)
         for object_id, fsa in fsas.items():
             structure.add(object_id, fsa, cache=cache)
         return structure
 
     def snapshot(self) -> "FsaOverlapStructure":
-        """A cheap independent copy (regions are immutable, the dict is not)."""
-        clone = FsaOverlapStructure(self._max_regions)
+        """A cheap independent copy (regions are immutable, the dict is not).
+
+        The clone shares no mutable state with the original: the region dict
+        is copied and the derived columnar table is left unbuilt rather than
+        aliased.  Prefix resumption in :class:`OverlapPoolCache` depends on
+        this — it extends a snapshot of a *cached* structure, and a verbatim
+        hit later must return that cached entry un-extended.
+        """
+        clone = FsaOverlapStructure(self._max_regions, kernel=self._kernel)
         clone._regions = dict(self._regions)
         return clone
 
@@ -181,6 +203,7 @@ class FsaOverlapStructure:
         different subset of regions than the global build (both are
         deterministic); below the cap the stored set is order-independent.
         """
+        self._table = None  # derived query table no longer matches the dict
         singleton = frozenset([object_id])
         new_regions: Dict[FrozenSet[int], Rectangle] = {singleton: fsa}
         for members, rectangle in self._regions.items():
@@ -222,10 +245,13 @@ class FsaOverlapStructure:
 
     @classmethod
     def from_serialized(
-        cls, regions: Sequence[SerializedRegion], max_regions: int = 10000
+        cls,
+        regions: Sequence[SerializedRegion],
+        max_regions: int = 10000,
+        kernel: str = "object",
     ) -> "FsaOverlapStructure":
         """Rebuild a structure from :meth:`serialized` output, preserving order."""
-        structure = cls(max_regions)
+        structure = cls(max_regions, kernel=kernel)
         for members, low_x, low_y, high_x, high_y in regions:
             structure._regions[frozenset(members)] = Rectangle(
                 Point(low_x, low_y), Point(high_x, high_y)
@@ -233,6 +259,14 @@ class FsaOverlapStructure:
         return structure
 
     # -- queries -------------------------------------------------------------------
+
+    def _query_table(self) -> Optional[RegionTable]:
+        """The columnar query table, built lazily; ``None`` on the scalar path."""
+        if self._kernel != "columnar" or len(self._regions) < self._COLUMNAR_MIN_REGIONS:
+            return None
+        if self._table is None:
+            self._table = RegionTable(self._regions)
+        return self._table
 
     def __len__(self) -> int:
         return len(self._regions)
@@ -251,6 +285,12 @@ class FsaOverlapStructure:
         the point — exactly the potential extra hotness the paper adds to an
         available vertex (Lines 23-26 of Algorithm 2).
         """
+        table = self._query_table()
+        if table is not None:
+            winner = table.smallest_containing(point)
+            if winner is None:
+                return None
+            return OverlapRegion(table.rects[winner], table.members[winner])
         best: Optional[OverlapRegion] = None
         for members, rectangle in self._regions.items():
             if not rectangle.contains_point(point):
@@ -267,6 +307,12 @@ class FsaOverlapStructure:
         Ties are broken towards smaller area so the fabricated vertex lands in
         the most specific shared region.
         """
+        table = self._query_table()
+        if table is not None:
+            winner = table.hottest_intersecting(fsa)
+            if winner is None:
+                return None
+            return OverlapRegion(table.rects[winner], table.members[winner])
         best: Optional[OverlapRegion] = None
         for members, rectangle in self._regions.items():
             if not rectangle.intersects(fsa):
@@ -341,10 +387,11 @@ class OverlapPoolCache:
     long replays with high churn cannot grow it without bound.
     """
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(self, capacity: int = 64, kernel: str = "object") -> None:
         if capacity <= 0:
             raise ConfigurationError(f"pool cache capacity must be positive, got {capacity}")
         self._capacity = capacity
+        self._kernel = resolve_kernel(kernel)
         self._table: "OrderedDict[PoolFingerprint, FsaOverlapStructure]" = OrderedDict()
         # Lifetime totals, surfaced by ``shard_statistics()``.
         self.reused = 0
@@ -408,7 +455,12 @@ class OverlapPoolCache:
             tail = {
                 entry[0]: pool[entry[0]] for entry in fingerprint[cut:]
             }
-            return FsaOverlapStructure.build(tail, max_regions, base=base)
+            # ``build`` resumes from ``base.snapshot()`` — never from the
+            # cached structure itself — so extending the tail here cannot
+            # mutate the cached entry (pinned by tests/test_delta_properties).
+            return FsaOverlapStructure.build(
+                tail, max_regions, base=base, kernel=self._kernel
+            )
         return None
 
     def store(
@@ -448,6 +500,7 @@ def build_structures(
     pools: Sequence[Mapping[int, Rectangle]],
     max_regions: int = 10000,
     cache: Optional[DerivedRegionCache] = None,
+    kernel: str = "object",
 ) -> List[FsaOverlapStructure]:
     """Build one structure per FSA pool, sharing work across related pools.
 
@@ -500,9 +553,11 @@ def build_structures(
         if stack:
             base_key, base = stack[-1]
             tail = {object_id: pool[object_id] for object_id in key[len(base_key):]}
-            structure = FsaOverlapStructure.build(tail, max_regions, base=base, cache=cache)
+            structure = FsaOverlapStructure.build(
+                tail, max_regions, base=base, cache=cache, kernel=kernel
+            )
         else:
-            structure = FsaOverlapStructure.build(pool, max_regions, cache=cache)
+            structure = FsaOverlapStructure.build(pool, max_regions, cache=cache, kernel=kernel)
         structures[index] = structure
         stack.append((key, structure))
     return structures

@@ -148,6 +148,7 @@ from repro.coordinator.execution import (
     conflict_groups,
     create_backend,
 )
+from repro.coordinator.columnar import resolve_kernel
 from repro.coordinator.delta import EPOCH_MODES
 from repro.coordinator.grid_index import GridConfig, GridIndex
 from repro.coordinator.hotness import HotnessDeltaLog, HotnessTracker
@@ -648,6 +649,7 @@ class ShardRouter:
         partition: Union[str, Partition] = "uniform",
         rebalance_threshold: float = 2.0,
         epoch_mode: str = "delta",
+        kernel: str = "object",
     ) -> None:
         if isinstance(partition, Partition):
             if partition.num_shards != num_shards:
@@ -705,8 +707,14 @@ class ShardRouter:
         #: everything per epoch — the differential reference the delta mode
         #: must match bit for bit.
         self.epoch_mode = epoch_mode
+        #: Geometry kernel of the fleet's hot paths: ``object`` (scalar
+        #: reference) or ``columnar`` (vectorized SoA kernels plus the
+        #: process backend's shared-memory shipments) — bit-for-bit equal
+        #: (see :mod:`repro.coordinator.columnar`).  Execution backends read
+        #: this attribute rather than carrying their own copy.
+        self.kernel = resolve_kernel(kernel)
         self.pool_cache: Optional[OverlapPoolCache] = (
-            OverlapPoolCache() if epoch_mode == "delta" else None
+            OverlapPoolCache(kernel=self.kernel) if epoch_mode == "delta" else None
         )
         self._stitcher: Optional[IncrementalStitcher] = (
             IncrementalStitcher() if epoch_mode == "delta" else None
@@ -751,7 +759,9 @@ class ShardRouter:
         for shard_id in range(num_shards):
             sub_bounds = self.grid.shard_bounds(shard_id)
             index = GridIndex(
-                GridConfig(sub_bounds, shard_cells), record_resolver=self._resolve
+                GridConfig(sub_bounds, shard_cells),
+                record_resolver=self._resolve,
+                kernel=self.kernel,
             )
             self.shards.append(
                 Shard(
@@ -911,7 +921,9 @@ class ShardRouter:
         for shard in self.shards:
             shard.bounds = partition.shard_bounds(shard.shard_id)
             shard.index = GridIndex(
-                GridConfig(shard.bounds, shard_cells), record_resolver=self._resolve
+                GridConfig(shard.bounds, shard_cells),
+                record_resolver=self._resolve,
+                kernel=self.kernel,
             )
         self.owners.clear()
         self.boundary_ledger.clear()

@@ -33,7 +33,7 @@ from repro.core.motion_path import MotionPath, MotionPathRecord
 from repro.client.state import CoordinatorResponse, ObjectState
 from repro.coordinator.grid_index import GridIndex
 from repro.coordinator.hotness import HotnessTracker
-from repro.coordinator.overlaps import FsaOverlapStructure
+from repro.coordinator.overlaps import FsaOverlapStructure, OverlapPoolCache
 
 __all__ = [
     "CandidatePath",
@@ -118,12 +118,40 @@ def apply_co_occurrence_boost(candidate_paths: Dict[int, List[CandidatePath]]) -
 class SinglePathStrategy:
     """Implementation of Algorithm 2 over a grid index and a hotness tracker."""
 
-    def __init__(self, index: GridIndex, hotness: HotnessTracker) -> None:
+    def __init__(
+        self,
+        index: GridIndex,
+        hotness: HotnessTracker,
+        kernel: str = "object",
+        pool_cache: Optional[OverlapPoolCache] = None,
+    ) -> None:
         self._index = index
         self._hotness = hotness
+        self._kernel = kernel
+        # Cross-epoch overlap-structure cache of the single-shard delta
+        # pipeline.  A sharded fleet resolves its halo pools against the
+        # router's cache before the backend builds the misses; the
+        # single-shard strategy has exactly one "pool" per epoch (the full
+        # FSA map) and runs it through the same resolve/store protocol, so a
+        # 1-shard coordinator reports the same ``pools_*`` counter semantics
+        # as a 1-shard fleet instead of hardcoded zeros.
+        self._pool_cache = pool_cache
+        #: Pool-cache outcome of the most recent epoch (mirrors
+        #: ``ShardRouter.last_pool_stats``; all zeros without a cache).
+        self.last_pool_stats: Dict[str, int] = self._zero_pool_stats()
+
+    @staticmethod
+    def _zero_pool_stats() -> Dict[str, int]:
+        return {
+            "pools_total": 0,
+            "pools_reused": 0,
+            "pools_prefix_reused": 0,
+            "pools_rebuilt": 0,
+        }
 
     def process_epoch(self, states: Sequence[ObjectState]) -> SinglePathEpochResult:
         """Run SinglePath over the batch of state messages of one epoch."""
+        self.last_pool_stats = self._zero_pool_stats()
         result = SinglePathEpochResult()
         if not states:
             return result
@@ -134,7 +162,7 @@ class SinglePathStrategy:
         for state in states:
             candidate_paths[state.object_id] = self.candidate_paths(state)
             fsas[state.object_id] = state.fsa
-        overlaps = FsaOverlapStructure.build(fsas)
+        overlaps = self._overlap_structure(fsas)
 
         # Phase 2: boost hotness of paths that appear in several objects'
         # candidate sets.
@@ -144,6 +172,17 @@ class SinglePathStrategy:
         for state in states:
             result.tally(self.decide(state, candidate_paths[state.object_id], overlaps))
         return result
+
+    def _overlap_structure(self, fsas: Dict[int, Rectangle]) -> FsaOverlapStructure:
+        """Build (or resolve from the delta-mode cache) the epoch's structure."""
+        if self._pool_cache is None:
+            return FsaOverlapStructure.build(fsas, kernel=self._kernel)
+        structures, miss_indexes, stats = self._pool_cache.resolve([fsas])
+        if miss_indexes:
+            structures[0] = FsaOverlapStructure.build(fsas, kernel=self._kernel)
+        self._pool_cache.store([fsas], structures)
+        self.last_pool_stats = stats
+        return structures[0]
 
     # -- candidate generation ------------------------------------------------------
 

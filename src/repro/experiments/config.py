@@ -137,6 +137,7 @@ def scaled_simulation_config(
     partition: str = "uniform",
     rebalance_threshold: float = 2.0,
     epoch_mode: str = "delta",
+    kernel: str = "columnar",
     seed: int = 42,
 ) -> SimulationConfig:
     """Build a :class:`SimulationConfig` from paper defaults, scaled for Python.
@@ -172,6 +173,7 @@ def scaled_simulation_config(
         partition=partition,
         rebalance_threshold=rebalance_threshold,
         epoch_mode=epoch_mode,
+        kernel=kernel,
         seed=seed,
         run_dp_baseline=run_dp_baseline,
         run_naive_baseline=run_naive_baseline,

@@ -70,7 +70,10 @@ class SimulationConfig:
     ``rebalance_threshold``); both are behaviour-identical.  ``epoch_mode``
     selects the incremental epoch pipeline: ``delta`` (the default) reuses
     unchanged halo pools and corridor chains across epochs — bit-for-bit
-    equal to ``full``, which rebuilds everything per epoch.
+    equal to ``full``, which rebuilds everything per epoch.  ``kernel``
+    selects the coordinator's geometry kernels: ``columnar`` (the default)
+    runs the vectorized numpy hot path, bit-for-bit equal to the ``object``
+    scalar reference.
     """
 
     num_objects: int = 20000
@@ -91,6 +94,7 @@ class SimulationConfig:
     partition: str = "uniform"
     rebalance_threshold: float = 2.0
     epoch_mode: str = "delta"
+    kernel: str = "columnar"
     seed: int = 42
     report_uncertainty: bool = False
     run_dp_baseline: bool = True
@@ -192,6 +196,7 @@ class HotPathSimulation:
                 partition=config.partition,
                 rebalance_threshold=config.rebalance_threshold,
                 epoch_mode=config.epoch_mode,
+                kernel=config.kernel,
             )
         )
         self.dp_baseline: Optional[DPHotSegmentTracker] = None

@@ -1,0 +1,392 @@
+"""Differential harness for the columnar kernel (``--kernel columnar``).
+
+The vectorized SoA kernels of :mod:`repro.coordinator.columnar` carry the
+same contract the delta pipeline does: **bit-for-bit equal** to the scalar
+``object`` reference, which stays pinned as the baseline.  Two layers:
+
+* the full coordinator matrix — backends x shard counts x epoch modes x
+  partitions, with forced rebalances and worker kills — driven with the
+  same streams under both kernels, every epoch's responses / counters /
+  index snapshot compared exactly (reusing the sharding-equivalence
+  harness);
+* hypothesis kernel-level suites — :class:`CellBlock` candidate kernels
+  against a brute-force scalar scan, and :class:`RegionTable` argmin
+  queries against the scalar tie-break loops, including the insertion-order
+  tie-break cases (equal areas, equal counts) the lexsort key order exists
+  for.
+
+The shared-memory shipment transport rides the matrix (``processes``
+backend under ``columnar``) and is additionally pinned to actually engage:
+epochs must ship through the ring, with zero pickled-pipe fallbacks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.geometry import Point, Rectangle
+from repro.coordinator.columnar import (
+    HAVE_NUMPY,
+    KERNELS,
+    CellBlock,
+    RegionTable,
+    resolve_kernel,
+)
+from repro.core.errors import ConfigurationError
+from repro.coordinator.overlaps import FsaOverlapStructure
+from test_sharding_equivalence import (
+    drive,
+    index_snapshot,
+    make_coordinator,
+    skewed_stream,
+    synthetic_stream,
+)
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="columnar kernels require numpy"
+)
+
+
+def drive_both_kernels(stream, **coordinator_kwargs):
+    """Drive the same stream under both kernels; assert full-trace equality."""
+    reference = drive(make_coordinator(kernel="object", **coordinator_kwargs), stream)
+    columnar = drive(make_coordinator(kernel="columnar", **coordinator_kwargs), stream)
+    assert reference == columnar, f"kernels diverged for {coordinator_kwargs}"
+    return reference
+
+
+class TestKernelResolution:
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_kernel("simd")
+
+    def test_known_kernels_resolve(self):
+        assert resolve_kernel("object") == "object"
+        assert resolve_kernel("columnar") == "columnar"
+
+    def test_columnar_degrades_without_numpy(self, monkeypatch):
+        import repro.coordinator.columnar as columnar
+
+        monkeypatch.setattr(columnar, "HAVE_NUMPY", False)
+        assert columnar.resolve_kernel("columnar") == "object"
+        assert columnar.resolve_kernel("object") == "object"
+
+    def test_coordinator_default_is_columnar(self):
+        coordinator = make_coordinator(num_shards=1)
+        try:
+            assert coordinator.config.kernel == "columnar"
+        finally:
+            coordinator.close()
+
+
+class TestFullMatrixEquivalence:
+    """Coordinator-level bit-for-bit equality across the harness matrix."""
+
+    @pytest.mark.parametrize("num_shards", [1, 4, 16])
+    @pytest.mark.parametrize("epoch_mode", ["full", "delta"])
+    def test_serial_matrix(self, num_shards, epoch_mode):
+        drive_both_kernels(
+            synthetic_stream(seed=13),
+            num_shards=num_shards,
+            backend="serial",
+            epoch_mode=epoch_mode,
+        )
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    @pytest.mark.parametrize("epoch_mode", ["full", "delta"])
+    def test_parallel_backends(self, backend, epoch_mode):
+        drive_both_kernels(
+            synthetic_stream(seed=29),
+            num_shards=4,
+            backend=backend,
+            epoch_mode=epoch_mode,
+        )
+
+    @pytest.mark.parametrize("backend", ["serial", "processes"])
+    def test_kd_partition_with_forced_rebalances(self, backend):
+        stream = skewed_stream(seed=7)
+        kwargs = dict(num_shards=4, backend=backend, partition="kd")
+        reference = drive(
+            make_coordinator(kernel="object", **kwargs), stream, rebalance_before=(2, 5)
+        )
+        columnar = drive(
+            make_coordinator(kernel="columnar", **kwargs), stream, rebalance_before=(2, 5)
+        )
+        assert reference == columnar
+
+    def test_cross_kernel_cross_shard_same_snapshot(self):
+        """1-shard object vs 16-shard columnar: the whole stack at once."""
+        stream = synthetic_stream(seed=47)
+        seed_trace = drive(make_coordinator(num_shards=1, kernel="object"), stream)
+        fleet_trace = drive(
+            make_coordinator(num_shards=16, backend="processes", kernel="columnar"),
+            stream,
+        )
+        assert seed_trace == fleet_trace
+
+
+class TestSharedMemoryTransport:
+    """The process backend must actually ship epochs through shared memory."""
+
+    def test_columnar_ships_via_shared_memory(self):
+        stream = synthetic_stream(seed=3, epochs=6)
+        coordinator = make_coordinator(num_shards=4, backend="processes", kernel="columnar")
+        try:
+            drive_trace = []
+            for boundary, states in stream:
+                for state in states:
+                    coordinator.submit_state(state)
+                drive_trace.append(coordinator.run_epoch(boundary).responses)
+            backend = coordinator.router.pipeline.backend
+            assert backend.shm_shipments > 0
+            assert backend.shm_fallbacks == 0
+        finally:
+            coordinator.close()
+
+    def test_object_kernel_never_touches_shared_memory(self):
+        stream = synthetic_stream(seed=3, epochs=4)
+        coordinator = make_coordinator(num_shards=4, backend="processes", kernel="object")
+        try:
+            for boundary, states in stream:
+                for state in states:
+                    coordinator.submit_state(state)
+                coordinator.run_epoch(boundary)
+            backend = coordinator.router.pipeline.backend
+            assert backend.shm_shipments == 0
+        finally:
+            coordinator.close()
+
+    def test_worker_kill_mid_stream_stays_equivalent(self):
+        """Respawn ships inline; answers must still match the object kernel."""
+        stream = synthetic_stream(seed=21, epochs=8)
+
+        def run(kernel: str):
+            coordinator = make_coordinator(
+                num_shards=4, backend="processes", kernel=kernel
+            )
+            trace = []
+            try:
+                for index, (boundary, states) in enumerate(stream):
+                    if index == 3:
+                        coordinator.router.pipeline.backend.kill_worker(0)
+                    for state in states:
+                        coordinator.submit_state(state)
+                    trace.append(coordinator.run_epoch(boundary).responses)
+                trace.append(index_snapshot(coordinator))
+            finally:
+                coordinator.close()
+            return trace
+
+        assert run("object") == run("columnar")
+
+
+# ---------------------------------------------------------------------------
+# Kernel-level hypothesis suites
+# ---------------------------------------------------------------------------
+
+# Coarse pools force duplicate endpoints, shared borders and exact ties.
+coordinate_pool = st.sampled_from([0.0, 1.0, 12.5, 25.0, 49.9, 50.0, 99.0, 100.0])
+points = st.builds(Point, coordinate_pool, coordinate_pool)
+
+
+@st.composite
+def cell_entries(draw):
+    """(key, endpoint, other) upserts plus a removal subset."""
+    n = draw(st.integers(min_value=0, max_value=20))
+    entries = []
+    for index in range(n):
+        key = (draw(st.integers(min_value=0, max_value=9)), draw(st.booleans()))
+        entries.append((key, draw(points), draw(points)))
+    removals = draw(
+        st.lists(st.integers(min_value=0, max_value=max(n - 1, 0)), max_size=6)
+    )
+    return entries, removals
+
+
+@st.composite
+def regions_strategy(draw):
+    a, b = draw(points), draw(points)
+    return Rectangle.bounding(a, b)
+
+
+class TestCellBlockKernels:
+    @settings(max_examples=150, deadline=None)
+    @given(cell_entries(), points, regions_strategy())
+    def test_kernels_match_scalar_scan(self, script, start, region):
+        entries, removals = script
+        block = CellBlock()
+        scalar: Dict = {}
+        for key, endpoint, other in entries:
+            block.upsert(key, endpoint, other)
+            scalar[key] = (endpoint, other)
+        for removal in removals:
+            if not entries:
+                break
+            key = entries[removal % len(entries)][0]
+            block.remove(key)
+            scalar.pop(key, None)
+
+        expected_starts = sorted(
+            pid
+            for (pid, is_start), (endpoint, other) in scalar.items()
+            if is_start and endpoint == start and region.contains_point(other)
+        )
+        assert sorted(block.start_matches(start, region)) == expected_starts
+
+        expected_from_into = sorted(
+            pid
+            for (pid, is_start), (endpoint, other) in scalar.items()
+            if not is_start and other == start and region.contains_point(endpoint)
+        )
+        assert sorted(block.from_into_matches(start, region)) == expected_from_into
+
+        pids, xs, ys = block.end_rows_in(region)
+        got_ends = sorted(
+            (int(pid), float(x), float(y)) for pid, x, y in zip(pids, xs, ys)
+        )
+        expected_ends = sorted(
+            (pid, endpoint.x, endpoint.y)
+            for (pid, is_start), (endpoint, _other) in scalar.items()
+            if not is_start and region.contains_point(endpoint)
+        )
+        assert got_ends == expected_ends
+
+        expected_any = sorted(
+            pid
+            for (pid, _is_start), (endpoint, _other) in scalar.items()
+            if region.contains_point(endpoint)
+        )
+        assert sorted(int(p) for p in block.endpoints_in(region)) == expected_any
+
+    @settings(max_examples=80, deadline=None)
+    @given(cell_entries())
+    def test_swap_with_last_removal_keeps_the_table_dense(self, script):
+        entries, _removals = script
+        block = CellBlock()
+        for key, endpoint, other in entries:
+            block.upsert(key, endpoint, other)
+        live = {key for key, _e, _o in entries}
+        for key in list(live):
+            remaining = block.remove(key)
+            live.discard(key)
+            assert remaining == len(live)
+            assert block.count == len(live)
+        assert block.remove((999, True)) == 0  # absent key is a no-op
+
+
+@st.composite
+def overlap_pools_strategy(draw):
+    """FSA pools sized to cross the columnar activation threshold."""
+    n = draw(st.integers(min_value=1, max_value=14))
+    pool = {}
+    for object_id in range(n):
+        center = draw(points)
+        half = draw(st.sampled_from([10.0, 25.0, 25.0, 40.0]))
+        pool[object_id] = Rectangle.from_center(center, half)
+    return pool
+
+
+class TestRegionTableKernels:
+    @settings(
+        max_examples=150,
+        deadline=None,
+        suppress_health_check=[HealthCheck.filter_too_much],
+    )
+    @given(overlap_pools_strategy(), points, regions_strategy())
+    def test_structure_queries_match_across_kernels(self, pool, probe, fsa):
+        reference = FsaOverlapStructure.build(pool, kernel="object")
+        columnar = FsaOverlapStructure.build(pool, kernel="columnar")
+        assert reference.serialized() == columnar.serialized()
+
+        ref_region = reference.smallest_region_containing(probe)
+        col_region = columnar.smallest_region_containing(probe)
+        assert (ref_region is None) == (col_region is None)
+        if ref_region is not None:
+            assert ref_region.members == col_region.members
+            assert ref_region.rectangle == col_region.rectangle
+
+        ref_hot = reference.hottest_region_intersecting(fsa)
+        col_hot = columnar.hottest_region_intersecting(fsa)
+        assert (ref_hot is None) == (col_hot is None)
+        if ref_hot is not None:
+            assert ref_hot.members == col_hot.members
+            assert ref_hot.rectangle == col_hot.rectangle
+
+        assert reference.candidate_vertex_for(fsa) == columnar.candidate_vertex_for(fsa)
+
+    @settings(max_examples=100, deadline=None)
+    @given(overlap_pools_strategy(), points, regions_strategy())
+    def test_table_path_forced_below_threshold(self, pool, probe, fsa):
+        """Drop the activation threshold to 1 so even tiny pools run the
+        vectorized table — the threshold must be a pure perf knob."""
+        reference = FsaOverlapStructure.build(pool, kernel="object")
+        columnar = FsaOverlapStructure.build(pool, kernel="columnar")
+        original = FsaOverlapStructure._COLUMNAR_MIN_REGIONS
+        FsaOverlapStructure._COLUMNAR_MIN_REGIONS = 1
+        try:
+            ref_region = reference.smallest_region_containing(probe)
+            col_region = columnar.smallest_region_containing(probe)
+            assert (ref_region is None) == (col_region is None)
+            if ref_region is not None:
+                assert ref_region.members == col_region.members
+            ref_hot = reference.hottest_region_intersecting(fsa)
+            col_hot = columnar.hottest_region_intersecting(fsa)
+            assert (ref_hot is None) == (col_hot is None)
+            if ref_hot is not None:
+                assert ref_hot.members == col_hot.members
+        finally:
+            FsaOverlapStructure._COLUMNAR_MIN_REGIONS = original
+
+    def test_insertion_order_breaks_exact_ties(self):
+        """Two regions with identical area and count: the scalar loops keep
+        the first-encountered one; the lexsort's last key must reproduce it."""
+        # Two disjoint members produce two singleton regions of equal area
+        # and equal count; a probe inside neither forces the intersecting
+        # query to tie on (-count, area) across both.
+        pool = {
+            1: Rectangle(Point(0.0, 0.0), Point(10.0, 10.0)),
+            2: Rectangle(Point(20.0, 0.0), Point(30.0, 10.0)),
+        }
+        reference = FsaOverlapStructure.build(pool, kernel="object")
+        columnar = FsaOverlapStructure.build(pool, kernel="columnar")
+        original = FsaOverlapStructure._COLUMNAR_MIN_REGIONS
+        FsaOverlapStructure._COLUMNAR_MIN_REGIONS = 1
+        try:
+            fsa = Rectangle(Point(0.0, 0.0), Point(30.0, 10.0))  # hits both
+            ref_hot = reference.hottest_region_intersecting(fsa)
+            col_hot = columnar.hottest_region_intersecting(fsa)
+            assert ref_hot.members == col_hot.members
+            probe = Point(5.0, 5.0)
+            # Add an identical-geometry region pair for the containment tie.
+            assert (
+                reference.smallest_region_containing(probe).members
+                == columnar.smallest_region_containing(probe).members
+            )
+        finally:
+            FsaOverlapStructure._COLUMNAR_MIN_REGIONS = original
+
+    @settings(max_examples=60, deadline=None)
+    @given(overlap_pools_strategy(), points)
+    def test_raw_table_matches_scalar_loops(self, pool, probe):
+        """RegionTable directly vs a hand-rolled scalar argmin."""
+        structure = FsaOverlapStructure.build(pool, kernel="object")
+        regions = list(structure.regions())
+        if not regions:
+            return
+        table = RegionTable(structure._regions)
+        best = None
+        for index, region in enumerate(regions):
+            if not region.rectangle.contains_point(probe):
+                continue
+            key = (region.rectangle.area, -region.count, index)
+            if best is None or key < best[0]:
+                best = (key, index)
+        got = table.smallest_containing(probe)
+        if best is None:
+            assert got is None
+        else:
+            assert got == best[1]

@@ -251,6 +251,66 @@ class TestPoolCacheBitIdentity:
         for first, second in zip(structures, again):
             assert first.serialized() == second.serialized()
 
+    def test_prefix_resume_must_not_mutate_the_cached_entry(self):
+        """Regression: a prefix hit builds from a *snapshot* of the cached
+        base, never from the cached structure itself.
+
+        The failure mode being pinned: resolve pool ``P`` (cached), then
+        ``P + extra`` (prefix-resumed from ``P``'s entry), then ``P``
+        verbatim again.  If the resume had extended the cached structure in
+        place, the final verbatim hit would hand back a structure carrying
+        ``extra``'s regions — diverging from a fresh build of ``P``.
+        """
+        cache = OverlapPoolCache()
+        base_pool = {
+            1: Rectangle.from_center(Point(100.0, 100.0), 50.0),
+            2: Rectangle.from_center(Point(120.0, 120.0), 50.0),
+        }
+        extended_pool = dict(base_pool)
+        extended_pool[3] = Rectangle.from_center(Point(110.0, 110.0), 50.0)
+
+        structures, miss_indexes, _stats = cache.resolve([base_pool])
+        for index in miss_indexes:
+            structures[index] = FsaOverlapStructure.build(base_pool)
+        cache.store([base_pool], structures)
+        pristine = structures[0].serialized()
+
+        resumed, miss_indexes, stats = cache.resolve([extended_pool])
+        assert miss_indexes == [] and stats["pools_prefix_reused"] == 1
+        assert resumed[0].serialized() == FsaOverlapStructure.build(
+            extended_pool
+        ).serialized()
+        cache.store([extended_pool], resumed)
+
+        verbatim, miss_indexes, stats = cache.resolve([base_pool])
+        assert miss_indexes == [] and stats["pools_reused"] == 1
+        assert verbatim[0].serialized() == pristine
+        assert verbatim[0].serialized() == FsaOverlapStructure.build(
+            base_pool
+        ).serialized()
+
+    @settings(max_examples=100, deadline=None)
+    @given(pool_epochs())
+    def test_prefix_chains_never_corrupt_cached_entries(self, epochs):
+        """Property form of the aliasing pin: after any resolve/store
+        history, re-resolving every pool ever stored returns a structure
+        equal to a fresh build of that pool."""
+        cache = OverlapPoolCache()
+        seen = []
+        for pools in epochs:
+            structures, miss_indexes, _stats = cache.resolve(pools)
+            for index in miss_indexes:
+                structures[index] = FsaOverlapStructure.build(pools[index])
+            cache.store(pools, structures)
+            seen.extend(pools)
+        replayed, _miss, _stats = cache.resolve(seen)
+        for pool, structure in zip(seen, replayed):
+            if structure is None:
+                continue
+            assert structure.serialized() == FsaOverlapStructure.build(
+                pool
+            ).serialized()
+
 
 # ---------------------------------------------------------------------------
 # Incremental stitcher vs. the global reference stitch

@@ -286,6 +286,108 @@ class TestRebalanceMigration:
         assert stats["rebalances"] == 0
 
 
+class TestSingleShardDeltaStatistics:
+    """Satellite regression: the single-shard ``shard_statistics`` fallback
+    must reconcile the delta counters with the sharded path.
+
+    A single-shard coordinator runs its one overlap pool per epoch through
+    the same :class:`~repro.coordinator.overlaps.OverlapPoolCache`
+    resolve/store protocol a fleet uses, so its ``pools_*`` counters must
+    equal a 1-shard fleet's over the same stream — previously they were
+    hardcoded zeros (and ``total_records`` leaked out as a float).
+    """
+
+    @staticmethod
+    def _stream() -> List[Tuple[int, List[ObjectState]]]:
+        def state(object_id: int, x: float, y: float, t_end: int) -> ObjectState:
+            return ObjectState(
+                object_id,
+                Point(x, y),
+                t_end - 5,
+                Point(x - 40.0, y - 40.0),
+                Point(x + 40.0, y + 40.0),
+                t_end,
+            )
+
+        first = [state(1, 200.0, 200.0, 10), state(2, 230.0, 230.0, 10)]
+        # Epoch 2 repeats epoch 1's FSA pool verbatim (cache hit); epoch 3
+        # extends it with one more reporter (prefix hit); epoch 4 is new.
+        second = [state(1, 200.0, 200.0, 20), state(2, 230.0, 230.0, 20)]
+        third = second + [state(3, 215.0, 215.0, 20)]
+        fourth = [state(4, 700.0, 700.0, 30)]
+        return [(10, first), (20, second), (30, [s for s in third]), (40, fourth)]
+
+    def test_counters_match_a_one_shard_fleet(self):
+        coordinator = Coordinator(
+            CoordinatorConfig(
+                bounds=BOUNDS, window=60, cells_per_axis=32, epoch_mode="delta"
+            )
+        )
+        fleet = ShardRouter(BOUNDS, 60, 32, 1)
+        for boundary, states in self._stream():
+            for state in states:
+                coordinator.submit_state(state)
+            coordinator.run_epoch(boundary)
+            for path_id in fleet.hotness.advance_time(boundary):
+                if path_id in fleet.index:
+                    fleet.index.delete(path_id)
+            fleet.pipeline.process_epoch(states)
+
+        single = coordinator.shard_statistics()
+        sharded = fleet.shard_statistics()
+        for key in (
+            "pools_total",
+            "pools_reused",
+            "pools_prefix_reused",
+            "pools_rebuilt",
+        ):
+            assert single[key] == sharded[key], key
+            assert isinstance(single[key], int), key
+        # The stream above must actually exercise all three outcomes — a
+        # counter stuck at zero would satisfy equality vacuously.
+        assert single["pools_total"] == 4
+        assert single["pools_reused"] >= 1
+        assert single["pools_prefix_reused"] >= 1
+        assert single["pools_rebuilt"] >= 1
+        assert (
+            single["pools_total"]
+            == single["pools_reused"]
+            + single["pools_prefix_reused"]
+            + single["pools_rebuilt"]
+        )
+
+    def test_fallback_schema_types_match_the_sharded_path(self):
+        coordinator = Coordinator(
+            CoordinatorConfig(
+                bounds=BOUNDS, window=60, cells_per_axis=32, epoch_mode="delta"
+            )
+        )
+        for boundary, states in self._stream():
+            for state in states:
+                coordinator.submit_state(state)
+            coordinator.run_epoch(boundary)
+        stats = coordinator.shard_statistics()
+        for key in ("num_shards", "total_records", "max_shard_records", "min_shard_records"):
+            assert isinstance(stats[key], int), key
+        assert isinstance(stats["mean_shard_records"], float)
+        assert stats["total_records"] == len(coordinator.index)
+        assert stats["mean_shard_records"] == float(len(coordinator.index))
+
+    def test_full_mode_single_shard_reports_zero_pool_counters(self):
+        coordinator = Coordinator(
+            CoordinatorConfig(
+                bounds=BOUNDS, window=60, cells_per_axis=32, epoch_mode="full"
+            )
+        )
+        for boundary, states in self._stream():
+            for state in states:
+                coordinator.submit_state(state)
+            coordinator.run_epoch(boundary)
+        stats = coordinator.shard_statistics()
+        assert stats["pools_total"] == 0
+        assert stats["pools_reused"] == 0
+
+
 class TestShardStatistics:
     """Satellite audit: straddling paths are counted once, renumbering-safe."""
 

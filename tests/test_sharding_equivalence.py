@@ -57,6 +57,7 @@ def make_coordinator(
     partition: str = "uniform",
     rebalance_threshold: float = 2.0,
     epoch_mode: str = "delta",
+    kernel: str = "columnar",
 ) -> Coordinator:
     return Coordinator(
         CoordinatorConfig(
@@ -69,6 +70,7 @@ def make_coordinator(
             partition=partition,
             rebalance_threshold=rebalance_threshold,
             epoch_mode=epoch_mode,
+            kernel=kernel,
         )
     )
 
