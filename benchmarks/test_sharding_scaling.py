@@ -317,6 +317,138 @@ def _rebalance_rows():
     return rows
 
 
+MIGRATION_RECORDS = 1200  # fleet size when the grow migration is requested
+MIGRATION_CHURN = 60  # records inserted per boundary while the migration runs
+MIGRATION_BOUNDARIES = 12  # boundaries driven after the request, every row
+
+
+def _migration_fleet(budget: int, seed: int = 13) -> ShardRouter:
+    """A 2x2 elastic fleet holding the downtown-skewed migration workload."""
+    router = ShardRouter(
+        OVERLAP_BOUNDS,
+        window=10**6,
+        cells_per_axis=32,
+        num_shards=4,
+        elastic="auto",
+        migration_budget=budget,
+        min_shards=4,
+        max_shards=5,
+        rebalance_threshold=6.0,  # quiet: only the requested grow migrates
+    )
+    rng = random.Random(seed)
+    for _ in range(MIGRATION_RECORDS):
+        if rng.random() < 0.8:
+            start = Point(rng.uniform(0.0, 250.0), rng.uniform(0.0, 250.0))
+        else:
+            start = Point(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0))
+        end = Point(
+            min(max(start.x + rng.uniform(-180.0, 180.0), 0.0), 1000.0),
+            min(max(start.y + rng.uniform(-180.0, 180.0), 0.0), 1000.0),
+        )
+        record = router.insert(MotionPath(start, end))
+        router.hotness.record_crossing(record.path_id, 0)
+    return router
+
+
+def _migration_churn_batches():
+    """The identical per-boundary insert churn every migration row replays."""
+    rng = random.Random(29)
+    batches = []
+    for _ in range(MIGRATION_BOUNDARIES):
+        batch = []
+        for _ in range(MIGRATION_CHURN):
+            start = Point(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0))
+            end = Point(
+                min(max(start.x + rng.uniform(-180.0, 180.0), 0.0), 1000.0),
+                min(max(start.y + rng.uniform(-180.0, 180.0), 0.0), 1000.0),
+            )
+            batch.append(MotionPath(start, end))
+        batches.append(batch)
+    return batches
+
+
+def _fleet_fingerprint(router: ShardRouter):
+    return (
+        router.grid.describe(),
+        {path_id: shard.shard_id for path_id, shard in router.owners.items()},
+        sorted(router.hotness.items()),
+    )
+
+
+def _elastic_migration_rows(repeats: int = 2):
+    """Worst-boundary migration cost: stop-the-world vs ``--migration-budget``.
+
+    Every row asks the same downtown-skewed 1200-record fleet for the same
+    grow migration (split the hottest shard, 4 -> 5) and then drives the
+    same churned boundaries.  The stop-the-world row pays the entire
+    migration inside the boundary that requested it — the epoch-time spike;
+    the budgeted rows warm the shadow fleet with ``budget + churn`` records
+    per boundary and hand off atomically, so the worst single boundary pays
+    a bounded slice of it.  Timed at the router so the table isolates the
+    migration's own cost from the rest of the epoch; each row runs on a
+    fresh fleet ``repeats`` times and keeps the fastest timings.  Every row
+    must converge before the boundaries run out and end in the identical
+    fleet state (the handoff-equals-stop-the-world contract, measured where
+    the pacing is claimed).
+    """
+    churn = _migration_churn_batches()
+    rows = []
+    reference = None
+    for label, budget in (("stop-the-world", 0), ("budget 120", 120), ("budget 240", 240)):
+        best = None
+        for _ in range(repeats):
+            router = _migration_fleet(budget)
+            try:
+                target = router._forced_elastic_partition()  # same split each row
+                started = time.perf_counter()
+                router.rebalance(target)
+                request_ms = (time.perf_counter() - started) * 1000.0
+                boundary_ms = []
+                warmed = 0
+                for batch in churn:
+                    for path in batch:
+                        record = router.insert(path)
+                        router.hotness.record_crossing(record.path_id, 0)
+                    if router._migration is None:
+                        continue
+                    started = time.perf_counter()
+                    router.maybe_rebalance()
+                    boundary_ms.append((time.perf_counter() - started) * 1000.0)
+                    warmed += router.last_migration_moved
+                assert router._migration is None, f"{label}: migration did not converge"
+                assert len(router.shards) == 5, f"{label}: fleet did not grow"
+                if budget:
+                    assert len(boundary_ms) >= 2 and warmed > MIGRATION_RECORDS // 2, (
+                        f"{label}: budgeted migration was not actually paced"
+                    )
+                    moved, paying = warmed, len(boundary_ms)
+                    worst = max(boundary_ms)
+                    total = request_ms + sum(boundary_ms)
+                else:
+                    moved, paying = MIGRATION_RECORDS, 1
+                    worst = total = request_ms
+                fingerprint = _fleet_fingerprint(router)
+                if reference is None:
+                    reference = fingerprint
+                else:
+                    # Pacing moves state across more boundaries, never elsewhere.
+                    assert fingerprint == reference, f"{label} fleet state diverged"
+                measured = (moved, paying, worst, total)
+                if best is None or measured[2] < best[2]:
+                    best = measured
+            finally:
+                router.pipeline.close()
+        rows.append((label, *best))
+    # The pacing claim: no budgeted boundary pays the stop-the-world spike.
+    stop_worst = rows[0][3]
+    for label, _moved, _paying, worst, _total in rows[1:]:
+        assert worst < stop_worst, (
+            f"{label} worst boundary ({worst:.1f} ms) should undercut the "
+            f"stop-the-world spike ({stop_worst:.1f} ms)"
+        )
+    return rows
+
+
 def _churned_epoch_stream(turnover, seed=5, epochs=5, core=64):
     """An epoch stream with a tunable report-turnover fraction.
 
@@ -640,6 +772,37 @@ def test_sharding_scaling(benchmark, experiment_scale, record_result):
         "(answers identical across rows; imbalance is what serialises a parallel "
         "fleet — the single-core container shows kd's denser downtown cells as "
         "extra halo work instead of the multi-core win)"
+    )
+
+    # Elastic migration pacing: the worst-boundary cost of a stop-the-world
+    # grow migration vs the same migration spread over several boundaries by
+    # --migration-budget (identical final fleet state, convergence and the
+    # pacing claim itself asserted inside _elastic_migration_rows).
+    lines.append("")
+    lines.append(
+        f"elastic migration pacing (grow 4->5, {MIGRATION_RECORDS}-record "
+        f"downtown-skewed fleet, {MIGRATION_CHURN} churn inserts/boundary, "
+        "identical final state)"
+    )
+    elastic_header = (
+        f"{'migration':>15} {'records moved':>14} {'paying boundaries':>18} "
+        f"{'worst boundary ms':>18} {'total ms':>9}"
+    )
+    lines.append(elastic_header)
+    lines.append("-" * len(elastic_header))
+    elastic_rows = _elastic_migration_rows()
+    for label, moved, paying, worst_ms, total_ms in elastic_rows:
+        lines.append(
+            f"{label:>15} {moved:>14d} {paying:>18d} "
+            f"{worst_ms:>18.3f} {total_ms:>9.3f}"
+        )
+    spike_cut = elastic_rows[0][3] / min(row[3] for row in elastic_rows[1:])
+    lines.append(
+        f"(worst-boundary spike cut {spike_cut:.1f}x by pacing: stop-the-world "
+        "pays the whole migration inside the boundary that requested it, while "
+        "a budgeted migration warms budget + churn records per boundary behind "
+        "double-read writes and hands off atomically — the total cost is "
+        "similar, the spike is bounded)"
     )
 
     # Incremental epoch pipeline: full vs --epoch-mode delta on a stable-core

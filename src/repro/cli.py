@@ -42,6 +42,7 @@ from repro.coordinator.columnar import KERNELS
 from repro.coordinator.delta import EPOCH_MODES
 from repro.coordinator.execution import BACKEND_NAMES
 from repro.coordinator.partition import PARTITION_KINDS
+from repro.coordinator.sharding import ELASTIC_MODES
 from repro.coordinator.stitching import STITCHING_MODES, select_top_k_corridors
 from repro.network.generator import NetworkConfig
 from repro.serving.scenarios import (
@@ -197,6 +198,36 @@ def build_parser() -> argparse.ArgumentParser:
             "result (without numpy, 'columnar' silently degrades to 'object')."
         ),
     )
+    run_parser.add_argument(
+        "--elastic", choices=ELASTIC_MODES, default="off",
+        help=(
+            "elastic shard fleet: 'auto' lets the router's cost model grow and "
+            "shrink the shard count at epoch boundaries — splitting hot shards, "
+            "merging cold sibling shards — between --min-shards and --max-shards; "
+            "'off' (default) keeps the fixed --shards count. Elastic runs stay "
+            "bit-for-bit identical to the central coordinator. Ignored when "
+            "--shards is 1."
+        ),
+    )
+    run_parser.add_argument(
+        "--migration-budget", type=int, default=0, metavar="N",
+        help=(
+            "cap the records any one epoch boundary migrates during a rebalance: "
+            "0 (default) migrates stop-the-world; N > 0 warms at most N backfill "
+            "records per boundary onto the incoming fleet (plus the epoch's new "
+            "inserts) while the outgoing fleet stays authoritative, spreading the "
+            "migration over ~records/N boundaries and bounding the per-epoch "
+            "latency spike."
+        ),
+    )
+    run_parser.add_argument(
+        "--min-shards", type=int, default=None, metavar="N",
+        help="elastic floor for the shard count (default 1)",
+    )
+    run_parser.add_argument(
+        "--max-shards", type=int, default=None, metavar="N",
+        help="elastic cap for the shard count (default: uncapped)",
+    )
     run_parser.add_argument("--seed", type=int, default=42)
     run_parser.add_argument("--network-nodes", type=int, default=10, help="grid nodes per axis")
     run_parser.add_argument("--area", type=float, default=4000.0, help="area side length in metres")
@@ -257,6 +288,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--kernel", choices=KERNELS, default="columnar",
         help="geometry kernels of the served coordinator (see 'repro run --help')",
+    )
+    serve_parser.add_argument(
+        "--elastic", choices=ELASTIC_MODES, default="off",
+        help="elastic shard fleet of the served coordinator (see 'repro run --help')",
+    )
+    serve_parser.add_argument(
+        "--migration-budget", type=int, default=0, metavar="N",
+        help="per-boundary record cap for rebalance migrations (see 'repro run --help')",
+    )
+    serve_parser.add_argument(
+        "--min-shards", type=int, default=None, metavar="N",
+        help="elastic floor for the shard count (default 1)",
+    )
+    serve_parser.add_argument(
+        "--max-shards", type=int, default=None, metavar="N",
+        help="elastic cap for the shard count (default: uncapped)",
     )
     serve_parser.add_argument(
         "--max-pending", type=int, default=100_000, metavar="N",
@@ -348,6 +395,10 @@ def _command_run(args: argparse.Namespace) -> int:
         rebalance_threshold=args.rebalance_threshold,
         epoch_mode=args.epoch_mode,
         kernel=args.kernel,
+        elastic=args.elastic,
+        migration_budget=args.migration_budget,
+        min_shards=args.min_shards,
+        max_shards=args.max_shards,
         seed=args.seed,
         network_config=NetworkConfig(area_size=args.area, grid_nodes_per_axis=args.network_nodes),
     )
@@ -369,6 +420,15 @@ def _command_run(args: argparse.Namespace) -> int:
             f"rebalances: {shards['rebalances']:.0f}, "
             f"boundary-straddling paths: {shards['straddling_paths']:.0f})"
         )
+        if config.elastic != "off":
+            print(
+                f"elastic fleet: {config.elastic} "
+                f"(migration budget: {config.migration_budget or 'stop-the-world'}, "
+                f"migrations: {shards['elastic_migrations']:.0f}, "
+                f"records migrated: {shards['records_migrated']:.0f}"
+                + (", migration in flight" if shards["migration_active"] else "")
+                + ")"
+            )
     print(f"index size (final / mean per epoch): {summary['final_index_size']:.0f} / {summary['mean_index_size']:.1f}")
     print(f"top-{config.top_k} score (mean per epoch):  {summary['mean_top_k_score']:.1f}")
     print(f"coordinator time per epoch:          {summary['mean_processing_seconds'] * 1000:.2f} ms")
@@ -503,6 +563,10 @@ def _command_serve(args: argparse.Namespace) -> int:
             rebalance_threshold=args.rebalance_threshold,
             epoch_mode=args.epoch_mode,
             kernel=args.kernel,
+            elastic=args.elastic,
+            migration_budget=args.migration_budget,
+            min_shards=args.min_shards,
+            max_shards=args.max_shards,
             max_pending_updates=args.max_pending,
             bounds=Rectangle(Point(0.0, 0.0), Point(args.area, args.area)),
         )
@@ -557,6 +621,10 @@ def _command_serve(args: argparse.Namespace) -> int:
             rebalance_threshold=args.rebalance_threshold,
             epoch_mode=args.epoch_mode,
             kernel=args.kernel,
+            elastic=args.elastic,
+            migration_budget=args.migration_budget,
+            min_shards=args.min_shards,
+            max_shards=args.max_shards,
         )
     )
     server = IngestionServer(

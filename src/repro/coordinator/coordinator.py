@@ -28,7 +28,7 @@ from repro.coordinator.execution import BACKEND_NAMES
 from repro.coordinator.overlaps import OverlapPoolCache
 from repro.coordinator.grid_index import GridConfig, GridIndex
 from repro.coordinator.hotness import HotnessTracker
-from repro.coordinator.sharding import PARTITION_KINDS, ShardRouter
+from repro.coordinator.sharding import ELASTIC_MODES, PARTITION_KINDS, ShardRouter
 from repro.coordinator.single_path import SinglePathStrategy
 from repro.coordinator.stitching import (
     STITCHING_MODES,
@@ -105,6 +105,20 @@ class CoordinatorConfig:
     reference, kept as the pinned bit-for-bit baseline exactly like
     ``epoch_mode="full"``.  Without numpy, ``columnar`` silently degrades
     to the scalar kernel (same answers, scalar speed).
+
+    ``elastic`` turns the fleet's shard *count* into a managed resource
+    (:mod:`repro.coordinator.sharding`): ``off`` (the default) keeps the
+    pre-elastic behaviour — the count is fixed at ``num_shards`` and only
+    kd refits may migrate; ``auto`` lets the router's cost model split hot
+    shards, merge cold neighbours and refit, keeping the count between
+    ``min_shards`` (default 1) and ``max_shards`` (default uncapped).
+    ``migration_budget`` bounds how many records any one rebalance migrates
+    per epoch boundary: 0 (the default) migrates stop-the-world; ``N > 0``
+    warms at most ``N`` records per boundary onto the incoming fleet while
+    the outgoing fleet stays fully authoritative, handing off only once
+    every record is warm.  Elastic decisions consume only
+    stream-deterministic signals, so every elastic run remains bit-for-bit
+    equal to the seed coordinator.
     """
 
     bounds: Rectangle
@@ -118,6 +132,10 @@ class CoordinatorConfig:
     rebalance_threshold: float = 2.0
     epoch_mode: str = "delta"
     kernel: str = "columnar"
+    elastic: str = "off"
+    migration_budget: int = 0
+    min_shards: Optional[int] = None
+    max_shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.window <= 0:
@@ -152,6 +170,22 @@ class CoordinatorConfig:
         if self.kernel not in KERNELS:
             raise ConfigurationError(
                 f"kernel must be one of {', '.join(KERNELS)}, got {self.kernel!r}"
+            )
+        if self.elastic not in ELASTIC_MODES:
+            raise ConfigurationError(
+                f"elastic must be one of {', '.join(ELASTIC_MODES)}, got {self.elastic!r}"
+            )
+        if self.migration_budget < 0:
+            raise ConfigurationError(
+                f"migration_budget must be >= 0, got {self.migration_budget}"
+            )
+        if self.min_shards is not None and self.min_shards < 1:
+            raise ConfigurationError(
+                f"min_shards must be at least 1, got {self.min_shards}"
+            )
+        if self.max_shards is not None and self.max_shards < (self.min_shards or 1):
+            raise ConfigurationError(
+                f"max_shards must be >= min_shards, got {self.max_shards}"
             )
 
 
@@ -220,6 +254,10 @@ class Coordinator:
                 rebalance_threshold=config.rebalance_threshold,
                 epoch_mode=config.epoch_mode,
                 kernel=kernel,
+                elastic=config.elastic,
+                migration_budget=config.migration_budget,
+                min_shards=config.min_shards,
+                max_shards=config.max_shards,
             )
             self.index = self.router.index
             self.hotness = self.router.hotness
@@ -296,7 +334,14 @@ class Coordinator:
                 now, deleted, epoch_result, outcome.rebalanced
             )
 
-        outcome.processing_seconds = time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        if self.router is not None:
+            # Feed the elastic cost model's *diagnostic* timing signal.  The
+            # router attributes the epoch's wall-clock to shards by bucket
+            # share; decisions never consume it (wall-clock is not
+            # stream-deterministic), it only surfaces in shard_statistics.
+            self.router.note_epoch_seconds(elapsed)
+        outcome.processing_seconds = elapsed
         self._epochs_processed += 1
         self._total_processing_seconds += outcome.processing_seconds
         return outcome
@@ -325,12 +370,16 @@ class Coordinator:
         if self.router is not None:
             pool_stats = self.router.last_pool_stats
             renumbered = self.router.last_renumbered
+            records_migrated = self.router.last_migration_moved
+            migration_active = self.router.last_migration_active
         else:
             # The single-shard strategy runs its one pool per epoch through
             # the same cache protocol as the sharded pipeline, so its
             # counters slot straight in (serial commits never renumber).
             pool_stats = self.strategy.last_pool_stats
             renumbered = 0
+            records_migrated = 0
+            migration_active = False
         return EpochDelta(
             timestamp=now,
             inserted=inserted,
@@ -345,6 +394,8 @@ class Coordinator:
             pools_prefix_reused=pool_stats["pools_prefix_reused"],
             pools_rebuilt=pool_stats["pools_rebuilt"],
             rebalanced=rebalanced,
+            records_migrated=records_migrated,
+            migration_active=migration_active,
         )
 
     # -- queries ---------------------------------------------------------------------
@@ -372,6 +423,11 @@ class Coordinator:
             "imbalance": 1.0,
             "straddling_paths": 0,
             "rebalances": 0,
+            "elastic_migrations": 0,
+            "records_migrated": 0,
+            "migration_active": 0.0,
+            "max_shard_epoch_seconds": 0.0,
+            "mean_shard_epoch_seconds": 0.0,
             "pools_total": 0,
             "pools_reused": 0,
             "pools_prefix_reused": 0,

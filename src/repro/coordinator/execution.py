@@ -297,14 +297,19 @@ class ExecutionBackend(ABC):
     def close(self) -> None:
         """Release pool resources; the backend may be lazily revived afterwards."""
 
-    def on_rebalance(self) -> None:
+    def on_rebalance(self, fleet_update: Optional[dict] = None) -> None:
         """The router migrated its fleet to a new partition.
 
         Backends reading live router state (serial, threads) need no action;
-        backends holding replicated state (processes) must discard it — the
-        shard bounds, record placement and load-aware worker assignment all
-        changed, and the router reset its journal — and re-bootstrap from a
-        fresh snapshot on the next epoch.
+        backends holding replicated state (processes) must react — the shard
+        bounds, record placement and load-aware worker assignment may all
+        have changed, and the router reset its journal.  ``fleet_update``
+        (when provided) describes the migration: ``unchanged`` is the set of
+        shard ids whose replica-visible state is identical across it,
+        ``num_shards`` the new fleet size and ``loads`` the new per-shard
+        record counts — enough for a replicating backend to keep untouched
+        replicas alive and respawn or retire the rest lazily.  ``None``
+        means "assume everything changed".
         """
 
     # -- shared helpers ---------------------------------------------------------
@@ -574,6 +579,18 @@ class ProcessBackend(ExecutionBackend):
         #: Workers respawned after dying (killed, crashed, or restarted
         #: explicitly) — excludes ordinary spawns and rebalance respawns.
         self.worker_restarts = 0
+        #: Rebalance outcomes, worker by worker: ``workers_reused`` counts
+        #: workers whose replicas survived a migration untouched (their
+        #: assigned shards were unchanged, so the fleet kept them alive);
+        #: ``workers_respawned`` counts live workers rebuilt lazily because
+        #: a migration changed their shards.  A stop-the-world rebalance
+        #: tears the whole fleet down and counts under neither.
+        self.workers_reused = 0
+        self.workers_respawned = 0
+        #: Workers marked stale by :meth:`on_rebalance` — their replicas no
+        #: longer match the fleet and they are respawned lazily the next
+        #: time the pipeline touches them.
+        self._stale_workers: set = set()
         #: Epoch shipments delivered through shared memory, and shipments
         #: that fell back to the pickled pipe because the block could not be
         #: (re)allocated.  Respawn and re-answer sends are always pickled —
@@ -597,7 +614,11 @@ class ProcessBackend(ExecutionBackend):
         return multiprocessing.get_context()
 
     @staticmethod
-    def assign_shards(loads: Sequence[int], workers: int) -> Dict[int, int]:
+    def assign_shards(
+        loads: Sequence[int],
+        workers: int,
+        previous: Optional[Mapping[int, int]] = None,
+    ) -> Dict[int, int]:
         """Load-aware shard→worker assignment (longest-processing-time greedy).
 
         ``loads[shard_id]`` is the shard's current record count.  Shards are
@@ -606,6 +627,14 @@ class ProcessBackend(ExecutionBackend):
         it the way the old static ``shard_id % workers`` split did.  Ties
         break by shard id and worker index, making the assignment a
         deterministic function of the load vector.
+
+        ``previous`` pins shards to their existing workers (stability across
+        rebalances): pinned shards keep their worker — seeding that worker's
+        load — and only the remaining shards are LPT-placed.  Pins naming a
+        shard outside ``loads`` or a worker outside the pool are ignored.
+        With identical loads and a full pin set the result is exactly
+        ``previous``, which is what lets an elastic migration that left a
+        worker's shards untouched keep that worker's replicas alive.
         """
         if workers < 1:
             raise ConfigurationError(f"worker count must be at least 1, got {workers}")
@@ -613,15 +642,29 @@ class ProcessBackend(ExecutionBackend):
         # (total load, shards held, worker): the shard count breaks load
         # ties, so a fresh all-zero fleet still spreads round-robin instead
         # of piling every shard onto worker 0.
-        worker_loads = [(0, 0, worker) for worker in range(workers)]
+        totals = [0] * workers
+        held = [0] * workers
+        if previous:
+            for shard_id, worker in sorted(previous.items()):
+                if 0 <= shard_id < len(loads) and 0 <= worker < workers:
+                    assignment[shard_id] = worker
+                    totals[worker] += loads[shard_id]
+                    held[worker] += 1
+        worker_loads = [
+            (totals[worker], held[worker], worker) for worker in range(workers)
+        ]
         heapq.heapify(worker_loads)
         for load, shard_id in sorted(
-            ((load, shard_id) for shard_id, load in enumerate(loads)),
+            (
+                (load, shard_id)
+                for shard_id, load in enumerate(loads)
+                if shard_id not in assignment
+            ),
             key=lambda item: (-item[0], item[1]),
         ):
-            total, held, worker = heapq.heappop(worker_loads)
+            total, count, worker = heapq.heappop(worker_loads)
             assignment[shard_id] = worker
-            heapq.heappush(worker_loads, (total + load, held + 1, worker))
+            heapq.heappush(worker_loads, (total + load, count + 1, worker))
         return assignment
 
     def _ensure_workers(self, router) -> None:
@@ -793,6 +836,11 @@ class ProcessBackend(ExecutionBackend):
     def _respawn_worker(self, worker: int, router) -> None:
         """Replace one worker with a fresh process snapshotted from live state."""
         process = self._processes[worker]
+        # A live worker replaced because a migration changed its shards is a
+        # planned refresh (workers_respawned); a dead one is crash recovery
+        # (worker_restarts) whether or not a migration also touched it.
+        stale_refresh = worker in self._stale_workers and process.is_alive()
+        self._stale_workers.discard(worker)
         if process.is_alive():
             process.terminate()
         process.join(timeout=5)
@@ -815,7 +863,10 @@ class ProcessBackend(ExecutionBackend):
         # The snapshot already reflects every journaled mutation, so the new
         # replica resumes from the journal's current tail.
         self._journal_seqs[worker] = len(router.journal)
-        self.worker_restarts += 1
+        if stale_refresh:
+            self.workers_respawned += 1
+        else:
+            self.worker_restarts += 1
 
     @staticmethod
     def _op_shard(op) -> int:
@@ -872,7 +923,7 @@ class ProcessBackend(ExecutionBackend):
         # answering, so the block is never read and rewritten concurrently).
         use_shm = HAVE_NUMPY and getattr(router, "kernel", "object") == "columnar"
         for worker in range(len(self._connections)):
-            if not self._processes[worker].is_alive():
+            if worker in self._stale_workers or not self._processes[worker].is_alive():
                 self._respawn_worker(worker, router)
                 ops = []
             else:
@@ -956,7 +1007,7 @@ class ProcessBackend(ExecutionBackend):
         for shard_id, fragments in tasks.items():
             tasks_per_worker[self._worker_of(shard_id)].append(fragments)
         for worker in range(worker_count):
-            if not self._processes[worker].is_alive():
+            if worker in self._stale_workers or not self._processes[worker].is_alive():
                 self._respawn_worker(worker, router)
             try:
                 self._connections[worker].send(("stitch", tasks_per_worker[worker]))
@@ -993,14 +1044,57 @@ class ProcessBackend(ExecutionBackend):
         self._journal_seqs = []
         self._assignment = {}
         self._rings = []
+        self._stale_workers = set()
 
-    def on_rebalance(self) -> None:
-        """Discard the replica fleet: shard bounds, record placement and the
-        load-aware assignment all changed with the partition.  The next epoch
-        respawns workers from a snapshot of the migrated fleet (the router
-        reset its journal, so no stale pre-migration op can reach a fresh
-        replica); the in-process decision pool holds no state and stays up."""
-        self._shutdown_workers()
+    def on_rebalance(self, fleet_update: Optional[dict] = None) -> None:
+        """React to a partition migration without tearing down untouched replicas.
+
+        Without a ``fleet_update`` (stop-the-world rebalance, or no fleet is
+        up yet) the whole replica fleet is discarded; the next epoch respawns
+        workers from a snapshot of the migrated shards (the router reset its
+        journal, so no stale pre-migration op can reach a fresh replica).
+
+        With a ``fleet_update`` (elastic migration handoff) the backend keeps
+        every worker whose assigned shard set is exactly its old one and lies
+        entirely inside ``fleet_update["unchanged"]`` — those replicas are
+        bit-identical to the migrated state, so they merely rewind their
+        journal cursor to the cleared journal's start.  Every other worker is
+        marked stale and rebuilt lazily on the next pipeline round trip
+        (``workers_respawned``); if the worker-count clamp against the new
+        shard count changes, the whole fleet is retired instead.  The
+        in-process decision pool holds no state and stays up either way.
+        """
+        if not self._processes or fleet_update is None:
+            self._shutdown_workers()
+            return
+        workers = self._requested_workers
+        if workers is None:
+            workers = _default_workers()
+        workers = max(1, min(workers, fleet_update["num_shards"]))
+        if workers != len(self._processes):
+            self._shutdown_workers()
+            return
+        unchanged = fleet_update["unchanged"]
+        loads = fleet_update["loads"]
+        previous = {
+            shard_id: worker
+            for shard_id, worker in self._assignment.items()
+            if shard_id in unchanged
+        }
+        old_assignment = self._assignment
+        self._assignment = self.assign_shards(loads, workers, previous)
+        alive = self.workers_alive()
+        self._stale_workers = set()
+        for worker in range(workers):
+            old_set = {s for s, w in old_assignment.items() if w == worker}
+            new_set = {s for s, w in self._assignment.items() if w == worker}
+            if alive[worker] and old_set == new_set and new_set <= unchanged:
+                # Replicas already match the migrated fleet; the router
+                # cleared its journal at handoff, so resume from its start.
+                self._journal_seqs[worker] = 0
+                self.workers_reused += 1
+            else:
+                self._stale_workers.add(worker)
 
     def close(self) -> None:
         self._shutdown_workers()

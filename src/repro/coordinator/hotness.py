@@ -85,6 +85,20 @@ class HotnessTracker:
         self._delta_log = HotnessDeltaLog()
         return drained
 
+    def absorb_delta_log(self, log: HotnessDeltaLog) -> None:
+        """Merge another tracker's pending delta-log events into this log.
+
+        Used by the elastic fleet handoff: when a migration replaces the
+        shard objects mid-epoch-boundary, the epoch's already-logged hotness
+        transitions must survive the trackers that recorded them — the new
+        fleet absorbs them so the epoch's delta assembly still sees every
+        event.  The delta assembler sorts the merged categories, so the
+        interleaving carries no information.
+        """
+        if self._delta_log is None:
+            raise CoordinatorError("hotness delta log was never enabled")
+        self._delta_log.merge_from(log)
+
     # -- recording --------------------------------------------------------------
 
     def record_crossing(self, path_id: int, t_end: int) -> int:

@@ -123,6 +123,36 @@ class Partition(ABC):
     def describe(self) -> tuple:
         """Canonical description: equal descriptions route identically."""
 
+    # -- elastic operations -----------------------------------------------------
+
+    @abstractmethod
+    def split(
+        self, shard_id: int, points: Sequence[Tuple[float, float]] = ()
+    ) -> "KdSplitPartition":
+        """A new partition with ``shard_id``'s cell split in two.
+
+        The split leaf keeps its id and the new sibling is appended at
+        ``num_shards`` — every other shard keeps both its id and its cell,
+        which is what lets the process backend keep those shards' replicas
+        alive across the migration.  ``points`` (endpoint samples inside the
+        cell) place the cut at the load median; without a sample the cut is
+        the cell midpoint on its wider axis.
+        """
+
+    @abstractmethod
+    def merge(self, a: int, b: int) -> "KdSplitPartition":
+        """A new partition with sibling cells ``a`` and ``b`` coalesced.
+
+        Only *sibling* leaves — cells whose union is exactly their parent's
+        cell — can merge (:meth:`mergeable_pairs` enumerates them).  The
+        merged cell takes ``min(a, b)``'s id; ids above ``max(a, b)`` shift
+        down by one to keep shard ids contiguous.
+        """
+
+    @abstractmethod
+    def mergeable_pairs(self) -> List[Tuple[int, int]]:
+        """All ``(a, b)`` sibling leaf pairs eligible for :meth:`merge`."""
+
 
 class UniformGridPartition(Partition):
     """Point-to-shard assignment over an R x C partition of the bounds.
@@ -218,6 +248,57 @@ class UniformGridPartition(Partition):
             self.bounds.low.as_tuple(),
             self.bounds.high.as_tuple(),
         )
+
+    # -- elastic operations -----------------------------------------------------
+
+    def to_kd(self) -> "KdSplitPartition":
+        """The kd-tree equivalent of this grid, shard ids preserved.
+
+        Guillotine-cuts the cell range recursively (columns before rows) at
+        the exact grid-line coordinates and labels each leaf with its
+        row-major shard id, so the kd tree reports the same ids over the
+        same cells.  Elastic split/merge then operates on the tree — a
+        uniform fleet's first elastic action migrates it onto the kd
+        representation once and stays there.
+        """
+        leaf_bounds: List[Optional[Rectangle]] = [None] * self.num_shards
+
+        def build(col_lo: int, col_hi: int, row_lo: int, row_hi: int) -> _KdNode:
+            if col_hi - col_lo == 1 and row_hi - row_lo == 1:
+                shard_id = row_lo * self.cols + col_lo
+                leaf_bounds[shard_id] = self.sub_bounds(col_lo, row_lo)
+                return shard_id
+            if col_hi - col_lo >= row_hi - row_lo and col_hi - col_lo > 1:
+                cut = (col_lo + col_hi) // 2
+                value = self.bounds.low.x + cut * self._shard_width
+                return (
+                    0,
+                    value,
+                    build(col_lo, cut, row_lo, row_hi),
+                    build(cut, col_hi, row_lo, row_hi),
+                )
+            cut = (row_lo + row_hi) // 2
+            value = self.bounds.low.y + cut * self._shard_height
+            return (
+                1,
+                value,
+                build(col_lo, col_hi, row_lo, cut),
+                build(col_lo, col_hi, cut, row_hi),
+            )
+
+        root = build(0, self.cols, 0, self.rows)
+        return KdSplitPartition(self.bounds, root, leaf_bounds)
+
+    def split(
+        self, shard_id: int, points: Sequence[Tuple[float, float]] = ()
+    ) -> "KdSplitPartition":
+        return self.to_kd().split(shard_id, points)
+
+    def merge(self, a: int, b: int) -> "KdSplitPartition":
+        return self.to_kd().merge(a, b)
+
+    def mergeable_pairs(self) -> List[Tuple[int, int]]:
+        return self.to_kd().mergeable_pairs()
 
 
 class KdSplitPartition(Partition):
@@ -438,6 +519,101 @@ class KdSplitPartition(Partition):
             self.bounds.high.as_tuple(),
             serialize(self._root),
         )
+
+    # -- elastic operations -----------------------------------------------------
+
+    def split(
+        self, shard_id: int, points: Sequence[Tuple[float, float]] = ()
+    ) -> "KdSplitPartition":
+        if not 0 <= shard_id < self.num_shards:
+            raise ConfigurationError(
+                f"cannot split shard {shard_id}: partition has {self.num_shards} shards"
+            )
+        cell = self._leaf_bounds[shard_id]
+        axis = 0 if cell.width >= cell.height else 1
+        low = cell.low.x if axis == 0 else cell.low.y
+        high = cell.high.x if axis == 0 else cell.high.y
+        if not low < (low + high) / 2.0 < high:
+            raise ConfigurationError(
+                f"cannot split shard {shard_id}: cell extent degenerate at {low}..{high}"
+            )
+        inside = sorted(
+            p[axis]
+            for p in points
+            if cell.low.x <= p[0] <= cell.high.x and cell.low.y <= p[1] <= cell.high.y
+        )
+        value = self._split_value(inside, 0.5, low, high)
+        new_id = self.num_shards
+        if axis == 0:
+            left_cell = Rectangle(cell.low, Point(value, cell.high.y))
+            right_cell = Rectangle(Point(value, cell.low.y), cell.high)
+        else:
+            left_cell = Rectangle(cell.low, Point(cell.high.x, value))
+            right_cell = Rectangle(Point(cell.low.x, value), cell.high)
+
+        def rebuild(node: _KdNode) -> _KdNode:
+            if isinstance(node, int):
+                return (axis, value, shard_id, new_id) if node == shard_id else node
+            node_axis, node_value, left, right = node
+            return (node_axis, node_value, rebuild(left), rebuild(right))
+
+        leaf_bounds = list(self._leaf_bounds)
+        leaf_bounds[shard_id] = left_cell
+        leaf_bounds.append(right_cell)
+        return KdSplitPartition(self.bounds, rebuild(self._root), leaf_bounds)
+
+    def merge(self, a: int, b: int) -> "KdSplitPartition":
+        if a == b or not (0 <= a < self.num_shards and 0 <= b < self.num_shards):
+            raise ConfigurationError(
+                f"cannot merge shards {a} and {b} in a {self.num_shards}-shard partition"
+            )
+        pair = {a, b}
+        keep, drop = min(a, b), max(a, b)
+        found = False
+
+        def rebuild(node: _KdNode) -> _KdNode:
+            nonlocal found
+            if isinstance(node, int):
+                return node - 1 if node > drop else node
+            node_axis, node_value, left, right = node
+            if isinstance(left, int) and isinstance(right, int) and {left, right} == pair:
+                found = True
+                return keep
+            return (node_axis, node_value, rebuild(left), rebuild(right))
+
+        root = rebuild(self._root)
+        if not found:
+            raise ConfigurationError(
+                f"shards {a} and {b} are not sibling cells; only siblings can merge "
+                f"(see mergeable_pairs())"
+            )
+        cell_a, cell_b = self._leaf_bounds[a], self._leaf_bounds[b]
+        merged = Rectangle(
+            Point(min(cell_a.low.x, cell_b.low.x), min(cell_a.low.y, cell_b.low.y)),
+            Point(max(cell_a.high.x, cell_b.high.x), max(cell_a.high.y, cell_b.high.y)),
+        )
+        leaf_bounds: List[Rectangle] = []
+        for old_id, bounds in enumerate(self._leaf_bounds):
+            if old_id == keep:
+                leaf_bounds.append(merged)
+            elif old_id != drop:
+                leaf_bounds.append(bounds)
+        return KdSplitPartition(self.bounds, root, leaf_bounds)
+
+    def mergeable_pairs(self) -> List[Tuple[int, int]]:
+        pairs: List[Tuple[int, int]] = []
+
+        def walk(node: _KdNode) -> None:
+            if isinstance(node, int):
+                return
+            _axis, _value, left, right = node
+            if isinstance(left, int) and isinstance(right, int):
+                pairs.append((min(left, right), max(left, right)))
+            walk(left)
+            walk(right)
+
+        walk(self._root)
+        return sorted(pairs)
 
 
 def create_partition(kind: str, bounds: Rectangle, num_shards: int) -> Partition:

@@ -138,6 +138,10 @@ def scaled_simulation_config(
     rebalance_threshold: float = 2.0,
     epoch_mode: str = "delta",
     kernel: str = "columnar",
+    elastic: str = "off",
+    migration_budget: int = 0,
+    min_shards: Optional[int] = None,
+    max_shards: Optional[int] = None,
     seed: int = 42,
 ) -> SimulationConfig:
     """Build a :class:`SimulationConfig` from paper defaults, scaled for Python.
@@ -174,6 +178,10 @@ def scaled_simulation_config(
         rebalance_threshold=rebalance_threshold,
         epoch_mode=epoch_mode,
         kernel=kernel,
+        elastic=elastic,
+        migration_budget=migration_budget,
+        min_shards=min_shards,
+        max_shards=max_shards,
         seed=seed,
         run_dp_baseline=run_dp_baseline,
         run_naive_baseline=run_naive_baseline,

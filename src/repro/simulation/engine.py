@@ -73,7 +73,11 @@ class SimulationConfig:
     equal to ``full``, which rebuilds everything per epoch.  ``kernel``
     selects the coordinator's geometry kernels: ``columnar`` (the default)
     runs the vectorized numpy hot path, bit-for-bit equal to the ``object``
-    scalar reference.
+    scalar reference.  ``elastic`` hands the shard *count* to the router's
+    cost model (``auto`` splits hot shards and merges cold neighbours
+    between ``min_shards`` and ``max_shards``; ``off`` keeps the fixed
+    count) and ``migration_budget`` caps the records any one epoch boundary
+    migrates (0 = stop-the-world); elastic runs stay behaviour-identical.
     """
 
     num_objects: int = 20000
@@ -95,6 +99,10 @@ class SimulationConfig:
     rebalance_threshold: float = 2.0
     epoch_mode: str = "delta"
     kernel: str = "columnar"
+    elastic: str = "off"
+    migration_budget: int = 0
+    min_shards: Optional[int] = None
+    max_shards: Optional[int] = None
     seed: int = 42
     report_uncertainty: bool = False
     run_dp_baseline: bool = True
@@ -197,6 +205,10 @@ class HotPathSimulation:
                 rebalance_threshold=config.rebalance_threshold,
                 epoch_mode=config.epoch_mode,
                 kernel=config.kernel,
+                elastic=config.elastic,
+                migration_budget=config.migration_budget,
+                min_shards=config.min_shards,
+                max_shards=config.max_shards,
             )
         )
         self.dp_baseline: Optional[DPHotSegmentTracker] = None

@@ -395,6 +395,34 @@ class TestLoadAwareAssignment:
         assert sorted(assignment) == list(range(16))
         assert set(assignment.values()) <= set(range(5))
 
+    def test_previous_pins_are_honoured(self):
+        """Pinned shards stay on their workers; the rest LPT-balance around
+        the pinned totals."""
+        loads = [50, 1, 1, 1]
+        assignment = ProcessBackend.assign_shards(
+            loads, workers=4, previous={1: 3, 2: 2}
+        )
+        assert assignment[1] == 3
+        assert assignment[2] == 2
+        assert sorted(assignment) == [0, 1, 2, 3]
+        # The heavy unpinned shard lands on an idle worker, not a pinned one.
+        assert assignment[0] in (0, 1)
+
+    def test_out_of_range_pins_are_ignored(self):
+        assignment = ProcessBackend.assign_shards(
+            [5, 5], workers=2, previous={7: 0, 0: 9}
+        )
+        assert sorted(assignment) == [0, 1]
+        assert set(assignment.values()) <= {0, 1}
+
+    def test_reassignment_is_stable_under_unchanged_load(self):
+        """Satellite regression: re-running the assignment with the old map
+        pinned must reproduce it exactly — the from-scratch LPT used to
+        reshuffle shards (and so retire replicas) even when nothing moved."""
+        loads = [30, 20, 10, 5, 5]
+        first = ProcessBackend.assign_shards(loads, workers=3)
+        assert ProcessBackend.assign_shards(loads, workers=3, previous=first) == first
+
     def test_skewed_loads_beat_the_old_modulo_split(self):
         """The motivating case: hot downtown shards used to collide on the
         same modulo worker.  With shard loads concentrated on shards 0 and
@@ -407,6 +435,108 @@ class TestLoadAwareAssignment:
             per_worker[worker] = per_worker.get(worker, 0) + loads[shard_id]
         # Old modulo split would put 150 on one worker; LPT caps near max load.
         assert max(per_worker.values()) <= 81
+
+
+class TestReplicaReuse:
+    """Satellite regression: a migration that leaves a worker's shard set
+    untouched must keep its process (and warmed replicas) alive — the old
+    ``on_rebalance`` tore the whole fleet down on every migration."""
+
+    def test_elastic_split_reuses_untouched_workers(self):
+        coordinator = Coordinator(
+            CoordinatorConfig(
+                bounds=BOUNDS,
+                window=200,
+                cells_per_axis=32,
+                num_shards=4,
+                backend="serial",
+                elastic="auto",
+                max_shards=6,
+                # Quiet threshold: only the *forced* split below migrates —
+                # the post-split kd fleet must not auto-refit at the next
+                # boundary (that would legitimately re-stale every worker).
+                rebalance_threshold=6.0,
+            )
+        )
+        router = coordinator.router
+        # Pin the worker count below any clamp crossing (4 workers serve
+        # both the 4- and the 5-shard fleet), as the oversized-pool tests do.
+        backend = ProcessBackend(workers=4)
+        router.pipeline.backend = backend
+        router._journal_enabled = True
+        try:
+            rng = random.Random(5)
+            states = []
+            for i in range(40):  # downtown: shard 0 of the 2x2 layout
+                x, y = rng.uniform(10.0, 400.0), rng.uniform(10.0, 400.0)
+                states.append(
+                    ObjectState(
+                        i, Point(x, y), 0, Point(x - 20, y - 20), Point(x + 20, y + 20), 5
+                    )
+                )
+            for offset, (cx, cy) in enumerate(
+                [(700.0, 200.0), (200.0, 700.0), (700.0, 700.0)]
+            ):
+                states.append(
+                    ObjectState(
+                        100 + offset,
+                        Point(cx, cy),
+                        0,
+                        Point(cx - 20, cy - 20),
+                        Point(cx + 20, cy + 20),
+                        5,
+                    )
+                )
+            for state in states:
+                coordinator.submit_state(state)
+            coordinator.run_epoch(10)
+            assert len(backend._processes) == 4
+            assert backend.workers_reused == 0
+            # Forced elastic action: split the hot downtown shard (4 -> 5).
+            # Shards 1-3 keep their bounds and records; with one shard per
+            # worker, the downtown worker must rebuild (its shard split) and
+            # one cold worker inherits the spilled half — the other two keep
+            # their exact sets and must survive untouched.
+            assert router.rebalance() is True
+            assert len(router.shards) == 5
+            assert backend.workers_reused == 2
+            stale = set(backend._stale_workers)
+            assert len(stale) == 2
+            # The next epoch touches every shard: exactly the stale workers
+            # respawn lazily; nothing counts as a crash restart.
+            followup = [
+                (200 + i, x, y)
+                for i, (x, y) in enumerate(
+                    [(30.0, 30.0), (480.0, 100.0), (700.0, 200.0), (200.0, 700.0), (700.0, 700.0)]
+                )
+            ]
+            for object_id, x, y in followup:
+                coordinator.submit_state(
+                    ObjectState(
+                        object_id,
+                        Point(x, y),
+                        10,
+                        Point(x - 15, y - 15),
+                        Point(x + 15, y + 15),
+                        15,
+                    )
+                )
+            coordinator.run_epoch(20)
+            assert backend.workers_respawned == len(stale)
+            assert backend.worker_restarts == 0
+            assert not backend._stale_workers
+            assert len(backend._processes) == 4
+        finally:
+            coordinator.close()
+
+    def test_stop_the_world_fallback_without_fleet_update(self):
+        """``on_rebalance(None)`` (or before any fleet exists) still means
+        full retirement — the legacy contract."""
+        backend = ProcessBackend(workers=2)
+        backend.on_rebalance(None)  # no fleet: harmless no-op shutdown
+        assert backend.workers_reused == 0
+        assert backend.workers_respawned == 0
+        backend.close()
 
 
 class TestWorkerFaultRecovery:

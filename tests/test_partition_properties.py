@@ -14,7 +14,12 @@ that hold for *any* layout — uniform grid or kd split:
 * kd fits are **total-order deterministic**: the splits are a pure function
   of the sample *set* — permuting the sample never changes the partition;
 * cells tile the bounds: positive areas summing to the monitored area;
-* ``ring_of`` grows monotonically from the shard itself to the full fleet.
+* ``ring_of`` grows monotonically from the shard itself to the full fleet;
+* the elastic operations preserve all of the above: any sequence of
+  ``split``/``merge`` actions keeps the plane covered and the rings sound,
+  splits touch only the split cell (replica reuse depends on every other
+  shard keeping its id and bounds), and a split is a pure function of the
+  sample *set* — never its order.
 
 These are hypothesis properties over random bounds, samples and shard
 counts; the differential harness (`tests/test_sharding_equivalence.py`)
@@ -27,7 +32,7 @@ from __future__ import annotations
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.core.errors import ConfigurationError
 from repro.core.geometry import Point, Rectangle
@@ -215,6 +220,148 @@ class TestRings:
     def test_a_wide_ring_covers_the_fleet(self, partition):
         ring = partition.ring_of(0, partition.num_shards)
         assert ring == set(range(partition.num_shards))
+
+
+@st.composite
+def fleet_actions(draw):
+    """A partition with an arbitrary *valid* split/merge history applied.
+
+    Splits pick any shard; merges pick any sibling pair (the only legal
+    merges).  The result is whatever layout an elastic controller could
+    reach, including uniform grids converted onto the kd representation by
+    their first split."""
+    partition = draw(partitions())
+    sample = draw(samples())
+    for is_split, selector in draw(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=2**20)),
+            max_size=8,
+        )
+    ):
+        pairs = partition.mergeable_pairs()
+        if is_split or not pairs:
+            partition = partition.split(selector % partition.num_shards, sample)
+        else:
+            a, b = pairs[selector % len(pairs)]
+            partition = partition.merge(a, b)
+    return partition
+
+
+class TestElasticActions:
+    """Satellite properties: the elastic ``split``/``merge`` operations keep
+    every invariant the router's exactness contract rests on."""
+
+    @given(
+        fleet_actions(),
+        st.lists(st.tuples(coordinates, coordinates), min_size=1, max_size=30),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_plane_cover_survives_arbitrary_histories(self, partition, points):
+        for x, y in points:
+            shard_id = partition.shard_id_of(Point(x, y))
+            assert 0 <= shard_id < partition.num_shards
+            clamped = clamp(Point(x, y), partition.bounds)
+            assert partition.shard_bounds(shard_id).contains_point(clamped)
+
+    @given(fleet_actions())
+    @settings(max_examples=100, deadline=None)
+    def test_cells_still_tile_the_bounds(self, partition):
+        total = sum(
+            partition.shard_bounds(shard_id).area
+            for shard_id in range(partition.num_shards)
+        )
+        assert total == pytest.approx(partition.bounds.area, rel=1e-9)
+        for shard_id in range(partition.num_shards):
+            cell = partition.shard_bounds(shard_id)
+            assert cell.width > 0.0 and cell.height > 0.0
+            assert partition.shard_id_of(cell.center) == shard_id
+
+    @given(fleet_actions(), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=100, deadline=None)
+    def test_rings_stay_sound(self, partition, halo):
+        for shard_id in range(partition.num_shards):
+            ring = partition.ring_of(shard_id, halo)
+            assert shard_id in ring
+            assert ring <= set(range(partition.num_shards))
+            if halo:
+                assert partition.ring_of(shard_id, halo - 1) <= ring
+        assert partition.ring_of(0, partition.num_shards) == set(
+            range(partition.num_shards)
+        )
+
+    @given(partitions(), samples(), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_split_is_independent_of_sample_order(self, partition, sample, seed):
+        shard_id = seed % partition.num_shards
+        shuffled = list(sample)
+        random.Random(seed).shuffle(shuffled)
+        assert (
+            partition.split(shard_id, shuffled).describe()
+            == partition.split(shard_id, sample).describe()
+        )
+
+    @given(partitions(), samples(), st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=100, deadline=None)
+    def test_split_touches_only_the_split_cell(self, partition, sample, selector):
+        """Replica reuse depends on this: every other shard keeps its id
+        *and* its bounds, and the two halves tile the split cell exactly
+        (the new shard takes the next free id)."""
+        shard_id = selector % partition.num_shards
+        grown = partition.split(shard_id, sample)
+        new_id = partition.num_shards
+        assert grown.num_shards == partition.num_shards + 1
+        for other in range(partition.num_shards):
+            if other != shard_id:
+                assert grown.shard_bounds(other) == partition.shard_bounds(other)
+        halves = (grown.shard_bounds(shard_id), grown.shard_bounds(new_id))
+        assert halves[0].area + halves[1].area == pytest.approx(
+            partition.shard_bounds(shard_id).area, rel=1e-9
+        )
+
+    @given(partitions(), samples(), st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=100, deadline=None)
+    def test_split_then_merge_round_trips(self, partition, sample, selector):
+        kd = partition if partition.kind == "kd" else partition.to_kd()
+        shard_id = selector % kd.num_shards
+        grown = kd.split(shard_id, sample)
+        assert grown.merge(shard_id, kd.num_shards).describe() == kd.describe()
+
+    @given(fleet_actions(), st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=100, deadline=None)
+    def test_merge_only_touches_the_siblings(self, partition, selector):
+        pairs = partition.mergeable_pairs()
+        assume(pairs)
+        a, b = pairs[selector % len(pairs)]
+        merged = partition.merge(a, b)
+        assert merged.num_shards == partition.num_shards - 1
+        union_area = partition.shard_bounds(a).area + partition.shard_bounds(b).area
+        assert merged.shard_bounds(a).area == pytest.approx(union_area, rel=1e-9)
+        # Survivors keep their cells; ids above the dropped one shift down.
+        for old_id in range(partition.num_shards):
+            if old_id in (a, b):
+                continue
+            new_id = old_id - 1 if old_id > b else old_id
+            assert merged.shard_bounds(new_id) == partition.shard_bounds(old_id)
+
+    def test_non_sibling_merges_are_rejected(self):
+        partition = KdSplitPartition.fit(BOUNDS, 4)
+        siblings = set(partition.mergeable_pairs())
+        assert siblings  # the balanced fit must expose at least one pair
+        rejected = 0
+        for a in range(4):
+            for b in range(4):
+                if a == b or (min(a, b), max(a, b)) in siblings:
+                    continue
+                with pytest.raises(ConfigurationError):
+                    partition.merge(a, b)
+                rejected += 1
+        assert rejected > 0
+        with pytest.raises(ConfigurationError):
+            partition.merge(0, 0)
+        with pytest.raises(ConfigurationError):
+            partition.merge(0, 99)
+        with pytest.raises(ConfigurationError):
+            partition.split(99)
 
 
 class TestCreatePartition:

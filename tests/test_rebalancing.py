@@ -147,6 +147,59 @@ class TestRebalanceMigration:
         assert router.hotness.pending_events == 1
         assert sorted(router.hotness.advance_time(30)) == [record.path_id]
 
+    def test_orphan_expiry_survives_back_to_back_elastic_shrinks(self):
+        """Satellite regression: an orphaned hotness entry (no live record)
+        whose fallback owner changes *twice* across back-to-back migrations
+        — each a shrink that removes the entry's previous shard position —
+        must keep its counter and pending expiry event paired on one shard
+        so the window keeps draining.  The old fallback indexed
+        ``shards[previous_shard]`` verbatim, an IndexError once the fleet
+        shrank below that position."""
+        router = make_router(4, window=10, elastic="auto")
+        live = router.insert(MotionPath(Point(100.0, 100.0), Point(900.0, 900.0)))
+        router.hotness.record_crossing(live.path_id, 2)
+        # Orphan on the top-right shard: position 3 of the 2x2 layout.
+        orphan = router.insert(MotionPath(Point(900.0, 900.0), Point(950.0, 950.0)))
+        router.hotness.record_crossing(orphan.path_id, 1)
+        router.index.delete(orphan.path_id)
+        # Shrink 4 -> 3: position 3 is gone, the orphan clamps to shard 2.
+        assert router.rebalance(UniformGridPartition(BOUNDS, 3, 1)) is True
+        # Shrink 3 -> 2 back-to-back: position 2 is gone again.
+        assert router.rebalance(UniformGridPartition(BOUNDS, 2, 1)) is True
+        assert len(router.shards) == 2
+        assert sum(s.hotness.hotness(orphan.path_id) for s in router.shards) == 1
+        assert router.hotness.hotness(live.path_id) == 1
+        assert router.hotness.pending_events == 2
+        # Both expiry pops pair with their counters instead of raising.
+        assert sorted(router.hotness.advance_time(30)) == sorted(
+            [live.path_id, orphan.path_id]
+        )
+        assert router.hotness.pending_events == 0
+
+    def test_orphan_expiry_survives_a_budgeted_shrink_handoff(self):
+        """Same regression through the *incremental* path: the handoff of a
+        budgeted shrink re-homes orphans with the same clamped fallback."""
+        router = make_router(4, window=10, elastic="auto", migration_budget=2)
+        rng = random.Random(41)
+        for _ in range(6):  # enough records that warming spans boundaries
+            start = Point(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0))
+            router.insert(MotionPath(start, Point(start.x + 5.0, start.y + 5.0)))
+        orphan = router.insert(MotionPath(Point(900.0, 900.0), Point(950.0, 950.0)))
+        router.hotness.record_crossing(orphan.path_id, 1)
+        router.index.delete(orphan.path_id)
+        assert router.rebalance(UniformGridPartition(BOUNDS, 2, 1)) is True
+        assert router._migration is not None  # in flight, old fleet serving
+        boundaries = 0
+        while router._migration is not None:
+            router.maybe_rebalance()
+            boundaries += 1
+            assert boundaries < 50, "budgeted shrink never handed off"
+        assert boundaries > 1  # the budget actually spread the migration
+        assert len(router.shards) == 2
+        assert sum(s.hotness.hotness(orphan.path_id) for s in router.shards) == 1
+        assert router.hotness.pending_events == 1
+        assert sorted(router.hotness.advance_time(30)) == [orphan.path_id]
+
     def test_noop_refit_is_skipped(self):
         router = make_router(4, partition="kd")
         insert_walk(router, seed=7)
